@@ -1,0 +1,81 @@
+"""Ablations: frontier width (FW) and concurrency enlargement.
+
+Two knobs the paper describes explicitly:
+
+* FW, "a parameter trading off solution quality versus time" in the
+  Figure-4 search — swept here over {1, 2, 4, 8, 16};
+* the optional post-step that increases the concurrency of the inserted
+  signal by enlarging its excitation regions, "accepted only if the new
+  configuration improves the cost of the solution".
+"""
+
+import pytest
+
+from repro.bench_stg import generators as gen
+from repro.core import SearchSettings, SolverSettings, solve_csc
+from repro.logic import estimate_circuit
+from repro.stg import build_state_graph
+from repro.utils.timing import Stopwatch
+
+
+@pytest.mark.parametrize("frontier_width", [1, 2, 4, 8, 16], ids=lambda w: f"fw{w}")
+def test_frontier_width_sweep(frontier_width, benchmark, report_sink):
+    sg = build_state_graph(gen.mixed_controller(1, 3))
+    settings = SolverSettings(
+        search=SearchSettings(
+            frontier_width=frontier_width,
+            max_validity_checks=100,
+            max_merge_candidates=32,
+        )
+    )
+
+    def run():
+        watch = Stopwatch().start()
+        result = solve_csc(sg, settings)
+        watch.stop()
+        return result, watch.elapsed
+
+    result, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    area = estimate_circuit(result.final_sg).total_literals if result.solved else ""
+    report_sink.setdefault("Ablation: frontier width (quality vs time)", []).append(
+        {
+            "FW": frontier_width,
+            "solved": result.solved,
+            "inserted": result.num_inserted,
+            "area": area,
+            "cpu_s": round(seconds, 2),
+        }
+    )
+
+
+@pytest.mark.parametrize("enlarge", [False, True], ids=["min-concurrency", "enlarged"])
+def test_concurrency_enlargement(enlarge, benchmark, report_sink):
+    sg = build_state_graph(gen.mixed_controller(2, 1))
+    settings = SolverSettings(
+        search=SearchSettings(
+            frontier_width=16,
+            max_validity_checks=100,
+            max_merge_candidates=32,
+            enlarge_concurrency=enlarge,
+        )
+    )
+
+    def run():
+        watch = Stopwatch().start()
+        result = solve_csc(sg, settings)
+        watch.stop()
+        return result, watch.elapsed
+
+    result, seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    area = estimate_circuit(result.final_sg).total_literals if result.solved else ""
+    total_er = sum(r.splus_size + r.sminus_size for r in result.records)
+    report_sink.setdefault("Ablation: concurrency enlargement of inserted signals", []).append(
+        {
+            "enlargement": "on" if enlarge else "off",
+            "solved": result.solved,
+            "inserted": result.num_inserted,
+            "total_ER_size": total_er,
+            "area": area,
+            "cpu_s": round(seconds, 2),
+        }
+    )

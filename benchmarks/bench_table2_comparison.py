@@ -1,0 +1,86 @@
+"""Table 2 reproduction: region-based encoder vs the ASSASSIN-style baseline.
+
+The paper's Table 2 compares, per benchmark, the area and CPU time of
+petrify against ASSASSIN, concluding that the results are comparable in
+quality while petrify explores a richer design space (regions instead of
+excitation regions only).  This harness runs both encoders — identical in
+every respect except the brick granularity — over the 24-row benchmark
+library and reports area (literals of the minimised next-state covers),
+inserted signals, CPU and totals.
+
+Expected shape (matching the paper's conclusion): both encoders solve the
+bulk of the suite with areas in the same range, the region-based encoder
+solves at least as many cases, and neither dominates the other on every
+row.  Rows marked ``relaxed`` are toggle/counter behaviours that need the
+``allow_input_delay`` mode (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.baselines.assassin import assassin_settings
+from repro.bench_stg.library import TABLE2_CASES
+from repro.core import solve_csc
+from repro.logic import estimate_circuit
+from repro.stg import build_state_graph
+from repro.utils.timing import Stopwatch
+
+_TOTALS = {"petrify_area": 0, "petrify_cpu": 0.0, "assassin_area": 0, "assassin_cpu": 0.0}
+
+
+def _run(sg, settings):
+    watch = Stopwatch().start()
+    result = solve_csc(sg, settings)
+    watch.stop()
+    area = ""
+    if result.solved:
+        area = estimate_circuit(result.final_sg).total_literals
+    return result, area, watch.elapsed
+
+
+@pytest.mark.parametrize("case", TABLE2_CASES, ids=lambda case: case.name)
+def test_table2_row(case, benchmark, report_sink):
+    stg = case.build()
+    sg = build_state_graph(stg, max_states=5000)
+    region_settings = case.solver_settings()
+    baseline_settings = assassin_settings(case.solver_settings())
+
+    result, area, seconds = benchmark.pedantic(lambda: _run(sg, region_settings), rounds=1, iterations=1)
+    assassin_result, assassin_area, assassin_seconds = _run(sg, baseline_settings)
+
+    if isinstance(area, int):
+        _TOTALS["petrify_area"] += area
+    _TOTALS["petrify_cpu"] += seconds
+    if isinstance(assassin_area, int):
+        _TOTALS["assassin_area"] += assassin_area
+    _TOTALS["assassin_cpu"] += assassin_seconds
+
+    report_sink.setdefault("Table 2: region-based encoder vs ASSASSIN-style baseline", []).append(
+        {
+            "benchmark": case.name,
+            "mode": case.mode,
+            "states": sg.num_states,
+            "petrify_area": area,
+            "petrify_cpu_s": round(seconds, 2),
+            "petrify_signals": result.num_inserted,
+            "petrify_solved": result.solved,
+            "assassin_area": assassin_area,
+            "assassin_cpu_s": round(assassin_seconds, 2),
+            "assassin_solved": assassin_result.solved,
+        }
+    )
+    # Both runs must have produced a result; quality is reported in the
+    # table rather than asserted — the two searches are heuristic beams
+    # over different brick sets, and (as the paper itself observes for
+    # ASSASSIN) each can come out slightly ahead on individual rows.
+    assert result is not None and assassin_result is not None
+
+
+def test_table2_totals(report_sink):
+    report_sink.setdefault("Table 2: totals", []).append(
+        {
+            "petrify_total_area": _TOTALS["petrify_area"],
+            "petrify_total_cpu_s": round(_TOTALS["petrify_cpu"], 1),
+            "assassin_total_area": _TOTALS["assassin_area"],
+            "assassin_total_cpu_s": round(_TOTALS["assassin_cpu"], 1),
+        }
+    )

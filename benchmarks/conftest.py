@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper.  The numbers
+are printed to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to
+see the tables as they are produced); pytest-benchmark additionally
+records the timing of each entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+
+def format_table(rows: List[Dict[str, object]], title: str) -> str:
+    """Render a list of row dictionaries as a fixed-width text table."""
+    if not rows:
+        return f"\n== {title} ==\n(no rows)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(str(column).ljust(widths[column]) for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collect rows per table and print them at the end of the session."""
+    tables: Dict[str, List[Dict[str, object]]] = {}
+    yield tables
+    for title, rows in tables.items():
+        print(format_table(rows, title))

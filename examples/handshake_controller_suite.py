@@ -1,0 +1,63 @@
+"""Encode a family of handshake controllers and compare against the baseline.
+
+This is the Table-2 workflow in miniature: for a handful of controllers
+(sequencers and mixed concurrent/sequential controllers, the structural
+stand-ins for the paper's industrial benchmarks) run both the region-based
+encoder and the excitation-region-restricted (ASSASSIN-style) baseline,
+and print area / CPU / inserted-signal counts side by side.
+
+Run with:  python examples/handshake_controller_suite.py
+"""
+
+from repro.baselines.assassin import assassin_settings
+from repro.bench_stg import generators as gen
+from repro.bench_stg.library import get_case
+from repro.core import solve_csc
+from repro.logic import estimate_circuit
+from repro.stg import build_state_graph
+from repro.utils.timing import Stopwatch
+
+CONTROLLERS = {
+    "vme2int": gen.vme_controller,
+    "sbuf-read-ctl": lambda: gen.sequencer(3),
+    "nak-pa": lambda: gen.mixed_controller(1, 2),
+    "mmu1": lambda: gen.mixed_controller(2, 1),
+    "seqmix": lambda: gen.mixed_controller(0, 4),
+}
+
+
+def run_one(name: str) -> dict:
+    case = get_case(name)
+    sg = build_state_graph(CONTROLLERS[name]())
+    row = {"benchmark": name, "states": sg.num_states}
+
+    for label, settings in (
+        ("regions", case.solver_settings()),
+        ("assassin", assassin_settings(case.solver_settings())),
+    ):
+        watch = Stopwatch().start()
+        result = solve_csc(sg, settings)
+        watch.stop()
+        area = estimate_circuit(result.final_sg).total_literals if result.solved else "-"
+        row[f"{label}_area"] = area
+        row[f"{label}_signals"] = result.num_inserted
+        row[f"{label}_cpu"] = round(watch.elapsed, 2)
+    return row
+
+
+def main() -> None:
+    rows = [run_one(name) for name in CONTROLLERS]
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns}
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    print(
+        "\nBoth encoders share the cost model and SIP checks; the only "
+        "difference is the granularity of the insertion material "
+        "(regions and their intersections vs excitation regions only)."
+    )
+
+
+if __name__ == "__main__":
+    main()

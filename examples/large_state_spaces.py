@@ -1,0 +1,59 @@
+"""Scaling study: explicit vs symbolic exploration of concurrent STGs.
+
+The paper's Table 1 highlights petrify's ability to handle STGs whose
+state graphs are far too large to enumerate naively, thanks to symbolic
+(BDD) representation and region-level exploration.  This script sweeps the
+scalable ``par(n)`` family: explicit reachability while it stays cheap,
+BDD-based counting beyond that, and CSC solving on the sizes where the
+pure-Python solver is practical.
+
+Run with:  python examples/large_state_spaces.py
+"""
+
+import time
+
+from repro.bdd import symbolic_state_count
+from repro.bench_stg import generators as gen
+from repro.core import SearchSettings, SolverSettings, solve_csc
+from repro.petri import build_reachability_graph
+from repro.stg import build_state_graph
+
+EXPLICIT_MAX = 8
+SOLVE_MAX = 4
+
+
+def main() -> None:
+    print(f"{'n':>3} {'states':>12} {'engine':>10} {'count_s':>8} {'solve_s':>8} {'inserted':>8}")
+    for branches in (2, 3, 4, 6, 8, 12, 16):
+        stg = gen.parallel_toggles(branches)
+        start = time.perf_counter()
+        if branches <= EXPLICIT_MAX:
+            states = build_reachability_graph(stg.net).num_markings
+            engine = "explicit"
+        else:
+            states = symbolic_state_count(stg.net)
+            engine = "BDD"
+        count_seconds = time.perf_counter() - start
+
+        solve_seconds = ""
+        inserted = ""
+        if branches <= SOLVE_MAX:
+            sg = build_state_graph(stg)
+            settings = SolverSettings(search=SearchSettings(allow_input_delay=True))
+            start = time.perf_counter()
+            result = solve_csc(sg, settings)
+            solve_seconds = f"{time.perf_counter() - start:.2f}"
+            inserted = str(result.num_inserted)
+        print(
+            f"{branches:>3} {states:>12} {engine:>10} {count_seconds:>8.2f} "
+            f"{solve_seconds:>8} {inserted:>8}"
+        )
+
+    print(
+        "\nThe BDD engine keeps counting exactly where explicit enumeration "
+        "stops being practical — the same division of labour Table 1 relies on."
+    )
+
+
+if __name__ == "__main__":
+    main()

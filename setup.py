@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in
+offline environments whose setuptools predates the bundled
+``bdist_wheel`` command (the metadata itself lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

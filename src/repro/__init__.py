@@ -1,0 +1,67 @@
+"""repro: region-based state encoding for asynchronous circuit synthesis.
+
+A reproduction of Cortadella, Kishinevsky, Kondratyev, Lavagno, Yakovlev,
+"Methodology and Tools for State Encoding in Asynchronous Circuit
+Synthesis", DAC 1996 — the Complete State Coding (CSC) engine of petrify.
+
+Typical use::
+
+    from repro import encode_stg, read_g_file
+
+    stg = read_g_file("controller.g")
+    report = encode_stg(stg, resynthesize=True)
+    print(report.inserted_signals, report.area_literals)
+"""
+
+from repro.api import EncodingReport, analyze_stg, encode_stg
+from repro.stg import (
+    STG,
+    SignalEdge,
+    SignalType,
+    StateGraph,
+    build_state_graph,
+    parse_g,
+    read_g_file,
+    stg_to_g_text,
+    write_g,
+)
+from repro.core import (
+    SearchSettings,
+    SolverSettings,
+    csc_conflicts,
+    has_csc,
+    solve_csc,
+)
+from repro.logic import estimate_circuit
+from repro.petri import PetriNet, build_reachability_graph
+from repro.petri.synthesis import synthesize_net, synthesize_stg
+from repro.ts import TransitionSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EncodingReport",
+    "analyze_stg",
+    "encode_stg",
+    "STG",
+    "SignalEdge",
+    "SignalType",
+    "StateGraph",
+    "build_state_graph",
+    "parse_g",
+    "read_g_file",
+    "stg_to_g_text",
+    "write_g",
+    "SearchSettings",
+    "SolverSettings",
+    "csc_conflicts",
+    "has_csc",
+    "solve_csc",
+    "estimate_circuit",
+    "PetriNet",
+    "build_reachability_graph",
+    "synthesize_net",
+    "synthesize_stg",
+    "TransitionSystem",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""High-level convenience API.
+
+``encode_stg`` is the one-call entry point a downstream user typically
+wants: STG in, CSC-satisfying encoded specification (plus logic estimate
+and, optionally, a re-synthesised STG) out.  The pieces are all available
+individually in :mod:`repro.core`, :mod:`repro.stg`, :mod:`repro.logic`
+and :mod:`repro.petri` for finer control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.csc import csc_summary
+from repro.core.solver import EncodingResult, SolverSettings, solve_csc
+from repro.logic.netlist import CircuitEstimate, estimate_circuit
+from repro.petri.synthesis import SynthesisError, synthesize_stg
+from repro.stg.state_graph import StateGraph, build_state_graph
+from repro.stg.stg import STG
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class EncodingReport:
+    """Everything produced by one end-to-end encoding run."""
+
+    stg: STG
+    state_graph: StateGraph
+    result: EncodingResult
+    circuit: Optional[CircuitEstimate] = None
+    encoded_stg: Optional[STG] = None
+    resynthesis_error: Optional[str] = None
+    total_seconds: float = 0.0
+
+    @property
+    def solved(self) -> bool:
+        return self.result.solved
+
+    @property
+    def inserted_signals(self) -> list:
+        return self.result.inserted_signals
+
+    @property
+    def area_literals(self) -> Optional[int]:
+        return self.circuit.total_literals if self.circuit is not None else None
+
+    def table_row(self) -> Dict[str, object]:
+        """A flat dictionary with the fields reported in the benchmark tables."""
+        stats = self.stg.stats()
+        row: Dict[str, object] = {
+            "benchmark": self.stg.name,
+            "places": stats["places"],
+            "transitions": stats["transitions"],
+            "signals": stats["signals"],
+            "states": self.state_graph.num_states,
+            "inserted": self.result.num_inserted,
+            "solved": self.result.solved,
+            "cpu": round(self.total_seconds, 2),
+        }
+        if self.circuit is not None:
+            row["area"] = self.circuit.total_literals
+        return row
+
+
+def analyze_stg(stg: STG, max_states: Optional[int] = None) -> Dict[str, object]:
+    """Size and CSC statistics of an STG without solving anything."""
+    sg = build_state_graph(stg, max_states=max_states)
+    info: Dict[str, object] = dict(stg.stats())
+    info.update(csc_summary(sg))
+    info.update(sg.speed_independence_report())
+    return info
+
+
+def encode_stg(
+    stg: STG,
+    settings: Optional[SolverSettings] = None,
+    estimate_logic: bool = True,
+    resynthesize: bool = False,
+    max_states: Optional[int] = None,
+) -> EncodingReport:
+    """Solve CSC for an STG and (optionally) estimate logic / rebuild an STG.
+
+    Parameters
+    ----------
+    stg:
+        The input specification.  It must be safe and consistent.
+    settings:
+        Solver settings (frontier width, brick granularity, …).
+    estimate_logic:
+        Extract and minimise the next-state functions of the encoded state
+        graph; only possible when CSC was actually solved.
+    resynthesize:
+        Re-derive an STG from the encoded state graph via region-based
+        Petri-net synthesis, so the result can be written back to ``.g``.
+    max_states:
+        Safety bound on explicit state-graph construction.
+    """
+    watch = Stopwatch().start()
+    sg = build_state_graph(stg, max_states=max_states)
+    result = solve_csc(sg, settings)
+
+    circuit: Optional[CircuitEstimate] = None
+    if estimate_logic and result.solved:
+        circuit = estimate_circuit(result.final_sg, name=stg.name)
+
+    encoded_stg: Optional[STG] = None
+    resynthesis_error: Optional[str] = None
+    if resynthesize and result.solved:
+        try:
+            encoded_stg = synthesize_stg(result.final_sg, name=f"{stg.name}_csc")
+        except SynthesisError as error:
+            resynthesis_error = str(error)
+
+    return EncodingReport(
+        stg=stg,
+        state_graph=sg,
+        result=result,
+        circuit=circuit,
+        encoded_stg=encoded_stg,
+        resynthesis_error=resynthesis_error,
+        total_seconds=watch.stop(),
+    )

@@ -1,0 +1,16 @@
+"""A small ROBDD engine and symbolic Petri-net reachability.
+
+The paper attributes petrify's ability to handle STGs with very large
+state spaces (Table 1) to two ingredients: exploring blocks of states at
+the level of regions, and representing the state graph symbolically with
+Ordered Binary Decision Diagrams.  This package provides the second
+ingredient: a reduced ordered BDD manager (``repro.bdd.bdd``) and a
+symbolic reachability engine for safe Petri nets (``repro.bdd.symbolic``)
+used by the Table 1 harness to count the states of the largest benchmarks
+without enumerating them explicitly.
+"""
+
+from repro.bdd.bdd import BDD
+from repro.bdd.symbolic import SymbolicReachability, symbolic_state_count
+
+__all__ = ["BDD", "SymbolicReachability", "symbolic_state_count"]

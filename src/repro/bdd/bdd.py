@@ -1,0 +1,270 @@
+"""A reduced ordered binary decision diagram (ROBDD) manager.
+
+Nodes are identified by integers: ``0`` and ``1`` are the terminal nodes,
+every other node is a triple ``(level, low, high)`` interned in a unique
+table, so structural equality is pointer equality.  The manager offers the
+classical ``ite``-based boolean operations, existential quantification,
+restriction and satisfying-assignment counting — everything the symbolic
+reachability engine needs, and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Node = int
+
+FALSE: Node = 0
+TRUE: Node = 1
+
+
+class BDD:
+    """A manager for ROBDDs over a fixed ordered set of variables."""
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("number of variables must be non-negative")
+        self.num_vars = num_vars
+        # node id -> (level, low, high); terminals use level == num_vars.
+        self._nodes: List[Tuple[int, Node, Node]] = [
+            (num_vars, FALSE, FALSE),  # terminal 0
+            (num_vars, TRUE, TRUE),  # terminal 1
+        ]
+        self._unique: Dict[Tuple[int, Node, Node], Node] = {}
+        self._ite_cache: Dict[Tuple[Node, Node, Node], Node] = {}
+        self._exists_cache: Dict[Tuple[Node, Tuple[int, ...]], Node] = {}
+
+    # ------------------------------------------------------------------
+    # node handling
+    # ------------------------------------------------------------------
+    def _make_node(self, level: int, low: Node, high: Node) -> Node:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def level(self, node: Node) -> int:
+        return self._nodes[node][0]
+
+    def low(self, node: Node) -> Node:
+        return self._nodes[node][1]
+
+    def high(self, node: Node) -> Node:
+        return self._nodes[node][2]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @property
+    def true(self) -> Node:
+        return TRUE
+
+    @property
+    def false(self) -> Node:
+        return FALSE
+
+    def var(self, index: int) -> Node:
+        """The function of a single positive literal."""
+        if not 0 <= index < self.num_vars:
+            raise IndexError(f"variable index {index} out of range")
+        return self._make_node(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> Node:
+        """The function of a single negative literal."""
+        if not 0 <= index < self.num_vars:
+            raise IndexError(f"variable index {index} out of range")
+        return self._make_node(index, TRUE, FALSE)
+
+    def cube(self, assignment: Dict[int, int]) -> Node:
+        """Conjunction of literals given as ``{variable_index: 0/1}``."""
+        result = TRUE
+        for index in sorted(assignment, reverse=True):
+            literal = self.var(index) if assignment[index] else self.nvar(index)
+            result = self.apply_and(result, literal)
+        return result
+
+    # ------------------------------------------------------------------
+    # core ite
+    # ------------------------------------------------------------------
+    def ite(self, condition: Node, then_part: Node, else_part: Node) -> Node:
+        """If-then-else: ``condition ? then_part : else_part``."""
+        if condition == TRUE:
+            return then_part
+        if condition == FALSE:
+            return else_part
+        if then_part == else_part:
+            return then_part
+        if then_part == TRUE and else_part == FALSE:
+            return condition
+        key = (condition, then_part, else_part)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.level(condition), self.level(then_part), self.level(else_part))
+        low = self.ite(
+            self._cofactor(condition, top, 0),
+            self._cofactor(then_part, top, 0),
+            self._cofactor(else_part, top, 0),
+        )
+        high = self.ite(
+            self._cofactor(condition, top, 1),
+            self._cofactor(then_part, top, 1),
+            self._cofactor(else_part, top, 1),
+        )
+        result = self._make_node(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactor(self, node: Node, level: int, value: int) -> Node:
+        if self.level(node) != level:
+            return node
+        return self.high(node) if value else self.low(node)
+
+    # ------------------------------------------------------------------
+    # derived operations
+    # ------------------------------------------------------------------
+    def apply_not(self, node: Node) -> Node:
+        return self.ite(node, FALSE, TRUE)
+
+    def apply_and(self, first: Node, second: Node) -> Node:
+        return self.ite(first, second, FALSE)
+
+    def apply_or(self, first: Node, second: Node) -> Node:
+        return self.ite(first, TRUE, second)
+
+    def apply_xor(self, first: Node, second: Node) -> Node:
+        return self.ite(first, self.apply_not(second), second)
+
+    def apply_diff(self, first: Node, second: Node) -> Node:
+        """``first AND NOT second``."""
+        return self.ite(second, FALSE, first)
+
+    def conjoin(self, nodes: Iterable[Node]) -> Node:
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result == FALSE:
+                break
+        return result
+
+    def disjoin(self, nodes: Iterable[Node]) -> Node:
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+            if result == TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # quantification and restriction
+    # ------------------------------------------------------------------
+    def restrict(self, node: Node, index: int, value: int) -> Node:
+        """Fix one variable of ``node`` to a constant."""
+        if node in (TRUE, FALSE):
+            return node
+        level = self.level(node)
+        if level > index:
+            return node
+        if level == index:
+            return self.high(node) if value else self.low(node)
+        low = self.restrict(self.low(node), index, value)
+        high = self.restrict(self.high(node), index, value)
+        return self._make_node(level, low, high)
+
+    def exists(self, node: Node, variables: Sequence[int]) -> Node:
+        """Existentially quantify ``variables`` out of ``node``."""
+        var_tuple = tuple(sorted(set(variables)))
+        if not var_tuple or node in (TRUE, FALSE):
+            return node
+        key = (node, var_tuple)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        level = self.level(node)
+        remaining = tuple(v for v in var_tuple if v >= level)
+        if not remaining:
+            result = node
+        else:
+            low = self.exists(self.low(node), remaining)
+            high = self.exists(self.high(node), remaining)
+            if level in remaining:
+                result = self.apply_or(low, high)
+            else:
+                result = self._make_node(level, low, high)
+        self._exists_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def evaluate(self, node: Node, assignment: Sequence[int]) -> int:
+        """Evaluate the function under a full assignment (list of 0/1)."""
+        current = node
+        while current not in (TRUE, FALSE):
+            level = self.level(current)
+            current = self.high(current) if assignment[level] else self.low(current)
+        return 1 if current == TRUE else 0
+
+    def count_solutions(self, node: Node) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables.
+
+        ``count_below(n)`` counts the assignments of the variables at or
+        below ``n``'s level; the final result scales by the variables above
+        the root.
+        """
+        cache: Dict[Node, int] = {}
+
+        def count_below(current: Node) -> int:
+            if current == FALSE:
+                return 0
+            if current == TRUE:
+                return 1
+            if current in cache:
+                return cache[current]
+            level = self.level(current)
+            low = self.low(current)
+            high = self.high(current)
+            low_count = count_below(low) << (self.level(low) - level - 1)
+            high_count = count_below(high) << (self.level(high) - level - 1)
+            result = low_count + high_count
+            cache[current] = result
+            return result
+
+        return count_below(node) << self.level(node)
+
+    def satisfying_assignments(self, node: Node, limit: Optional[int] = None):
+        """Yield satisfying assignments as tuples of 0/1 (testing helper)."""
+        produced = 0
+
+        def walk(current: Node, level: int, prefix: List[int]):
+            nonlocal produced
+            if limit is not None and produced >= limit:
+                return
+            if current == FALSE:
+                return
+            if level == self.num_vars:
+                produced += 1
+                yield tuple(prefix)
+                return
+            node_level = self.level(current)
+            if node_level > level:
+                for value in (0, 1):
+                    prefix.append(value)
+                    yield from walk(current, level + 1, prefix)
+                    prefix.pop()
+            else:
+                for value, child in ((0, self.low(current)), (1, self.high(current))):
+                    prefix.append(value)
+                    yield from walk(child, level + 1, prefix)
+                    prefix.pop()
+
+        yield from walk(node, 0, [])

@@ -1,0 +1,48 @@
+"""Benchmark STGs: named controllers and scalable generators.
+
+The original 1996 benchmark suite (``nak-pa``, ``master-read``, ``mmu``,
+``pipe16`` …) is not redistributable and most of its ``.g`` sources are
+not publicly archived; this package provides (a) classic controllers whose
+structure is public knowledge (the VME bus controller, toggles,
+duplicators, sequencers, ripple counters) and (b) parameterised generators
+that produce structurally analogous specifications — handshake controllers
+with tunable concurrency and guaranteed CSC conflicts — which are mapped
+to the benchmark names used in the Table 1 / Table 2 reproductions (see
+EXPERIMENTS.md for the exact mapping and the substitution rationale).
+"""
+
+from repro.bench_stg.generators import (
+    vme_controller,
+    toggle_element,
+    duplicator_element,
+    sequencer,
+    parallel_toggles,
+    independent_toggles,
+    ripple_counter,
+    handshake_wire_chain,
+    mixed_controller,
+)
+from repro.bench_stg.library import (
+    BenchmarkCase,
+    TABLE1_CASES,
+    TABLE2_CASES,
+    benchmark_names,
+    load_benchmark,
+)
+
+__all__ = [
+    "vme_controller",
+    "toggle_element",
+    "duplicator_element",
+    "sequencer",
+    "parallel_toggles",
+    "independent_toggles",
+    "ripple_counter",
+    "handshake_wire_chain",
+    "mixed_controller",
+    "BenchmarkCase",
+    "TABLE1_CASES",
+    "TABLE2_CASES",
+    "benchmark_names",
+    "load_benchmark",
+]

@@ -1,0 +1,339 @@
+"""Parameterised STG generators used by the benchmark library.
+
+Every generator returns a safe, consistent :class:`~repro.stg.stg.STG`.
+Two families are provided:
+
+* *Input-preserving* controllers (``vme_controller``, ``sequencer``,
+  ``duplicator_element``, ``mixed_controller``, ``handshake_wire_chain``):
+  every CSC conflict can be resolved by inserting state signals whose
+  transitions are triggered by (and only delay) output events, which is
+  the regime the paper's method targets.
+
+* *Toggle-style* controllers (``toggle_element``, ``parallel_toggles``,
+  ``independent_toggles``, ``ripple_counter``): divide-by-two behaviour
+  whose internal state must change across input-only portions of the
+  cycle.  These have no input-preserving solution at all (the circuit
+  would race its own environment); they are kept because they are the
+  classic stress cases for state-space size (Table 1) and because they
+  exercise the solver's ``allow_input_delay`` mode — the "changes in the
+  specification" the paper says competing tools had to resort to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.stg.stg import STG
+
+Arc = Tuple[str, str]
+
+
+def vme_controller() -> STG:
+    """The classic VME bus controller (read cycle).
+
+    Inputs ``dsr`` / ``ldtack``, outputs ``lds`` / ``d`` / ``dtack``.  The
+    textbook example of a specification with a single CSC conflict that
+    needs one inserted state signal.
+    """
+    arcs: List[Arc] = [
+        ("dsr+", "lds+"),
+        ("ldtack-", "lds+"),
+        ("lds+", "ldtack+"),
+        ("ldtack+", "d+"),
+        ("d+", "dtack+"),
+        ("dtack+", "dsr-"),
+        ("dsr-", "d-"),
+        ("d-", "dtack-"),
+        ("d-", "lds-"),
+        ("dtack-", "dsr+"),
+        ("lds-", "ldtack-"),
+    ]
+    return STG.from_arcs(
+        "vme",
+        inputs=["dsr", "ldtack"],
+        outputs=["lds", "d", "dtack"],
+        arcs=arcs,
+        marking=[("dtack-", "dsr+"), ("ldtack-", "lds+")],
+    )
+
+
+def toggle_element(name: str = "toggle", input_signal: str = "a", output_signal: str = "b") -> STG:
+    """A divide-by-two element: the output toggles once per input cycle.
+
+    The six-state cycle ``a+ b+ a- a+ b- a-`` is the smallest specification
+    with CSC conflicts.  Because the internal state would have to change
+    between two consecutive *input* transitions, the conflicts cannot be
+    solved without delaying the environment — the solver's strict mode
+    correctly reports failure, the relaxed mode solves it.
+    """
+    a, b = input_signal, output_signal
+    arcs: List[Arc] = [
+        (f"{a}+/1", f"{b}+"),
+        (f"{b}+", f"{a}-/1"),
+        (f"{a}-/1", f"{a}+/2"),
+        (f"{a}+/2", f"{b}-"),
+        (f"{b}-", f"{a}-/2"),
+        (f"{a}-/2", f"{a}+/1"),
+    ]
+    return STG.from_arcs(
+        name,
+        inputs=[a],
+        outputs=[b],
+        arcs=arcs,
+        marking=[(f"{a}-/2", f"{a}+/1")],
+    )
+
+
+def duplicator_element(name: str = "duplicator") -> STG:
+    """One input handshake produces two acknowledged output handshakes.
+
+    The output ``b`` performs two full handshakes (acknowledged by the
+    input ``c``) per cycle of the input ``a``, and a ``done`` output ``d``
+    closes the cycle.  States inside the two ``b`` handshakes share codes
+    but enable different behaviour — CSC conflicts that are solvable with
+    output-triggered state signals.
+    """
+    arcs: List[Arc] = [
+        ("a+", "b+/1"),
+        ("b+/1", "c+/1"),
+        ("c+/1", "b-/1"),
+        ("b-/1", "c-/1"),
+        ("c-/1", "b+/2"),
+        ("b+/2", "c+/2"),
+        ("c+/2", "b-/2"),
+        ("b-/2", "c-/2"),
+        ("c-/2", "d+"),
+        ("d+", "a-"),
+        ("a-", "d-"),
+        ("d-", "a+"),
+    ]
+    return STG.from_arcs(
+        name,
+        inputs=["a", "c"],
+        outputs=["b", "d"],
+        arcs=arcs,
+        marking=[("d-", "a+")],
+    )
+
+
+def sequencer(num_outputs: int, name: str = "") -> STG:
+    """One input handshake triggers ``num_outputs`` acknowledged handshakes.
+
+    Output ``b_i`` is acknowledged by input ``c_i``; a ``done`` output ``d``
+    closes the cycle.  All the "between two handshakes" states share the
+    same code, giving a ladder of CSC conflicts that the encoder resolves
+    with roughly ``log2(num_outputs)`` state signals, each triggered by
+    output transitions only.
+    """
+    if num_outputs < 1:
+        raise ValueError("a sequencer needs at least one output")
+    name = name or f"seq{num_outputs}"
+    outputs = [f"b{i}" for i in range(1, num_outputs + 1)]
+    acks = [f"c{i}" for i in range(1, num_outputs + 1)]
+    events: List[str] = ["a+"]
+    for signal, ack in zip(outputs, acks):
+        events.extend([f"{signal}+", f"{ack}+", f"{signal}-", f"{ack}-"])
+    events.extend(["d+", "a-", "d-"])
+    arcs = [(events[i], events[i + 1]) for i in range(len(events) - 1)]
+    arcs.append(("d-", "a+"))
+    return STG.from_arcs(
+        name,
+        inputs=["a"] + acks,
+        outputs=outputs + ["d"],
+        arcs=arcs,
+        marking=[("d-", "a+")],
+    )
+
+
+def parallel_toggles(num_branches: int, name: str = "") -> STG:
+    """A fork/join of ``num_branches`` concurrently toggling outputs.
+
+    Phase one raises every output concurrently, phase two lowers them; any
+    two interleavings that have flipped the same subset of outputs share a
+    code but enable different output transitions, so the number of CSC
+    conflict pairs grows with the (exponential) number of states — the
+    high-concurrency stress case of Table 1.  Like every toggle, it is
+    only solvable in ``allow_input_delay`` mode.
+    """
+    if num_branches < 1:
+        raise ValueError("need at least one branch")
+    name = name or f"par{num_branches}"
+    outputs = [f"b{i}" for i in range(1, num_branches + 1)]
+    arcs: List[Arc] = []
+    for signal in outputs:
+        arcs.append(("a+/1", f"{signal}+"))
+        arcs.append((f"{signal}+", "a-/1"))
+        arcs.append(("a+/2", f"{signal}-"))
+        arcs.append((f"{signal}-", "a-/2"))
+    arcs.append(("a-/1", "a+/2"))
+    arcs.append(("a-/2", "a+/1"))
+    return STG.from_arcs(
+        name,
+        inputs=["a"],
+        outputs=outputs,
+        arcs=arcs,
+        marking=[("a-/2", "a+/1")],
+    )
+
+
+def independent_toggles(num_stages: int, name: str = "") -> STG:
+    """``num_stages`` independent toggle elements in one specification.
+
+    The state space is the product of the component state spaces (6^n
+    states), which makes this the substitute for the very large ``pipe``
+    benchmarks of Table 1: massive concurrency between unrelated
+    handshakes, with every component contributing its own CSC conflicts.
+    """
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    name = name or f"toggles{num_stages}"
+    marking: List[Tuple[str, str]] = []
+    arcs: List[Arc] = []
+    inputs, outputs = [], []
+    for index in range(1, num_stages + 1):
+        a, b = f"a{index}", f"b{index}"
+        inputs.append(a)
+        outputs.append(b)
+        arcs.extend(
+            [
+                (f"{a}+/1", f"{b}+"),
+                (f"{b}+", f"{a}-/1"),
+                (f"{a}-/1", f"{a}+/2"),
+                (f"{a}+/2", f"{b}-"),
+                (f"{b}-", f"{a}-/2"),
+                (f"{a}-/2", f"{a}+/1"),
+            ]
+        )
+        marking.append((f"{a}-/2", f"{a}+/1"))
+    return STG.from_arcs(name, inputs=inputs, outputs=outputs, arcs=arcs, marking=marking)
+
+
+def ripple_counter(num_bits: int, name: str = "") -> STG:
+    """An asynchronous ripple (modulo ``2**num_bits``) counter.
+
+    The input handshake ``a`` clocks the counter; output bit ``b1`` toggles
+    every cycle, ``b2`` every two cycles, and so on.  The specification is
+    a single large cycle whose states repeat codes massively — the
+    ``mod-4 counter`` and ``divider`` benchmarks of Table 2.  Counters are
+    toggles, so state signals necessarily interleave with input
+    transitions (``allow_input_delay`` mode).
+    """
+    if num_bits < 1:
+        raise ValueError("need at least one bit")
+    name = name or f"ripple{num_bits}"
+    outputs = [f"b{i}" for i in range(1, num_bits + 1)]
+    occurrence: Dict[str, int] = {}
+
+    def fresh(event: str) -> str:
+        occurrence[event] = occurrence.get(event, 0) + 1
+        return f"{event}/{occurrence[event]}"
+
+    events: List[str] = []
+    bits = [0] * num_bits
+    for _cycle in range(2 ** num_bits):
+        events.append(fresh("a+"))
+        # Ripple: toggle bit 1; carry into the next bit on a 1 -> 0 flip.
+        position = 0
+        while position < num_bits:
+            bits[position] ^= 1
+            sign = "+" if bits[position] else "-"
+            events.append(fresh(f"b{position + 1}{sign}"))
+            if bits[position] == 1:
+                break
+            position += 1
+        events.append(fresh("a-"))
+    arcs = [(events[i], events[i + 1]) for i in range(len(events) - 1)]
+    arcs.append((events[-1], events[0]))
+    return STG.from_arcs(
+        name,
+        inputs=["a"],
+        outputs=outputs,
+        arcs=arcs,
+        marking=[(events[-1], events[0])],
+    )
+
+
+def handshake_wire_chain(num_stages: int, name: str = "") -> STG:
+    """A chain of fully coupled pass-through handshake stages.
+
+    Every stage simply forwards the four-phase handshake, so the
+    specification satisfies CSC already; it is used as a control case
+    (the solver must recognise there is nothing to do) and for parser /
+    synthesis round-trip tests.
+    """
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    name = name or f"wires{num_stages}"
+    signals = [f"r{i}" for i in range(num_stages + 1)]
+    arcs: List[Arc] = []
+    for i in range(num_stages):
+        arcs.append((f"{signals[i]}+", f"{signals[i + 1]}+"))
+        arcs.append((f"{signals[i]}-", f"{signals[i + 1]}-"))
+    arcs.append((f"{signals[-1]}+", f"{signals[0]}-"))
+    arcs.append((f"{signals[-1]}-", f"{signals[0]}+"))
+    return STG.from_arcs(
+        name,
+        inputs=[signals[0]],
+        outputs=signals[1:],
+        arcs=arcs,
+        marking=[(f"{signals[-1]}-", f"{signals[0]}+")],
+    )
+
+
+def mixed_controller(
+    num_parallel: int,
+    num_sequential: int,
+    name: str = "",
+) -> STG:
+    """A controller mixing concurrent and sequential acknowledged handshakes.
+
+    On each cycle of the input ``a``, the controller performs
+    ``num_parallel`` concurrent output handshakes (``p_i`` acknowledged by
+    input ``q_i``) and, concurrently with them, a chain of
+    ``num_sequential`` output handshakes (``s_j`` acknowledged by ``t_j``);
+    when everything completes it raises the ``done`` output ``d``.  The
+    sequencer chain and the fork/join both contribute CSC conflicts, the
+    parallel branches contribute exponential state growth, and every
+    conflict is resolvable with output-triggered state signals — the
+    structural stand-in for the mid-size industrial controllers of
+    Table 2 (``master-read``, ``mmu``, ``nak-pa``, …).
+    """
+    if num_parallel < 0 or num_sequential < 0 or num_parallel + num_sequential == 0:
+        raise ValueError("the controller needs at least one output")
+    name = name or f"mixed_p{num_parallel}_s{num_sequential}"
+    parallel = [f"p{i}" for i in range(1, num_parallel + 1)]
+    parallel_acks = [f"q{i}" for i in range(1, num_parallel + 1)]
+    sequential = [f"s{j}" for j in range(1, num_sequential + 1)]
+    sequential_acks = [f"t{j}" for j in range(1, num_sequential + 1)]
+    arcs: List[Arc] = []
+
+    for signal, ack in zip(parallel, parallel_acks):
+        arcs.append(("a+", f"{signal}+"))
+        arcs.append((f"{signal}+", f"{ack}+"))
+        arcs.append((f"{ack}+", f"{signal}-"))
+        arcs.append((f"{signal}-", f"{ack}-"))
+        arcs.append((f"{ack}-", "d+"))
+
+    if sequential:
+        chain: List[str] = []
+        for signal, ack in zip(sequential, sequential_acks):
+            chain.extend([f"{signal}+", f"{ack}+", f"{signal}-", f"{ack}-"])
+        arcs.append(("a+", chain[0]))
+        for left, right in zip(chain, chain[1:]):
+            arcs.append((left, right))
+        arcs.append((chain[-1], "d+"))
+
+    if not parallel and not sequential:
+        arcs.append(("a+", "d+"))
+
+    arcs.append(("d+", "a-"))
+    arcs.append(("a-", "d-"))
+    arcs.append(("d-", "a+"))
+
+    return STG.from_arcs(
+        name,
+        inputs=["a"] + parallel_acks + sequential_acks,
+        outputs=parallel + sequential + ["d"],
+        arcs=arcs,
+        marking=[("d-", "a+")],
+    )

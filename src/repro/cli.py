@@ -1,0 +1,135 @@
+"""Command-line front end (``pyetrify``).
+
+Three sub-commands mirror the workflow of the original tool:
+
+* ``info FILE.g``  — size, consistency and CSC statistics of an STG;
+* ``solve FILE.g`` — insert state signals until CSC holds, report the
+  inserted signals and the logic estimate, optionally write the encoded
+  specification back as a ``.g`` file;
+* ``bench NAME``   — run a named benchmark from the built-in library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import analyze_stg, encode_stg
+from repro.bench_stg.library import benchmark_names, load_benchmark
+from repro.core.search import SearchSettings
+from repro.core.solver import SolverSettings
+from repro.stg.parser import read_g_file
+from repro.stg.writer import write_g
+
+
+def _solver_settings(args: argparse.Namespace) -> SolverSettings:
+    return SolverSettings(
+        search=SearchSettings(
+            frontier_width=args.frontier_width,
+            brick_mode=args.bricks,
+            enlarge_concurrency=args.enlarge_concurrency,
+        ),
+        max_signals=args.max_signals,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    stg = read_g_file(args.file)
+    info = analyze_stg(stg, max_states=args.max_states)
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"{key:<{width}} : {value}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    stg = read_g_file(args.file)
+    report = encode_stg(
+        stg,
+        settings=_solver_settings(args),
+        estimate_logic=not args.no_logic,
+        resynthesize=args.output is not None,
+        max_states=args.max_states,
+    )
+    row = report.table_row()
+    for key, value in row.items():
+        print(f"{key:<12} : {value}")
+    if report.inserted_signals:
+        print(f"{'new signals':<12} : {', '.join(report.inserted_signals)}")
+    if report.circuit is not None and args.equations:
+        print("next-state functions:")
+        for signal, implementation in report.circuit.implementations.items():
+            print(f"  [{signal}] = {implementation.expression()}")
+    if args.output is not None:
+        if report.encoded_stg is not None:
+            write_g(report.encoded_stg, args.output)
+            print(f"encoded STG written to {args.output}")
+        else:
+            print(
+                "warning: could not re-synthesise an STG "
+                f"({report.resynthesis_error or 'CSC not solved'})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0 if report.solved else 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in benchmark_names(args.table):
+            print(name)
+        return 0
+    stg = load_benchmark(args.name, table=args.table)
+    report = encode_stg(stg, settings=_solver_settings(args), max_states=args.max_states)
+    for key, value in report.table_row().items():
+        print(f"{key:<12} : {value}")
+    return 0 if report.solved else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pyetrify",
+        description="Region-based state encoding for asynchronous circuits (DAC'96 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--frontier-width", type=int, default=8, help="FW parameter of the heuristic search")
+        sub.add_argument("--bricks", choices=["regions", "excitation", "states"], default="regions", help="granularity of the insertion search space")
+        sub.add_argument("--max-signals", type=int, default=32, help="maximum number of inserted state signals")
+        sub.add_argument("--max-states", type=int, default=200000, help="bound on explicit state-graph size")
+        sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
+        sub.add_argument("--verbose", action="store_true")
+
+    info = subparsers.add_parser("info", help="report STG statistics and CSC conflicts")
+    info.add_argument("file", help="input .g file")
+    info.add_argument("--max-states", type=int, default=200000)
+    info.set_defaults(handler=_cmd_info)
+
+    solve = subparsers.add_parser("solve", help="insert state signals until CSC holds")
+    solve.add_argument("file", help="input .g file")
+    solve.add_argument("-o", "--output", help="write the encoded STG to this .g file")
+    solve.add_argument("--equations", action="store_true", help="print minimised next-state functions")
+    solve.add_argument("--no-logic", action="store_true", help="skip logic estimation")
+    add_common(solve)
+    solve.set_defaults(handler=_cmd_solve)
+
+    bench = subparsers.add_parser("bench", help="run a benchmark from the built-in library")
+    bench.add_argument("name", nargs="?", default="vme2int")
+    bench.add_argument("--table", choices=["table1", "table2"], default="table2")
+    bench.add_argument("--list", action="store_true", help="list available benchmarks")
+    add_common(bench)
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""The paper's contribution: region-based Complete State Coding.
+
+The pipeline is:
+
+1. :mod:`repro.core.csc` finds CSC conflicts in a binary-encoded state
+   graph.
+2. :mod:`repro.core.regions` / :mod:`repro.core.excitation` /
+   :mod:`repro.core.bricks` compute regions, excitation regions and the
+   "bricks" (minimal regions and intersections of pre/post-regions) from
+   which insertion blocks are assembled.
+3. :mod:`repro.core.ipartition` turns a block of states into an
+   I-partition ``S0 / S+ / S1 / S-`` via minimal well-formed exit borders.
+4. :mod:`repro.core.insertion` inserts a new signal according to the
+   splitting scheme of Figure 2; :mod:`repro.core.sip` checks that the
+   insertion preserves speed independence.
+5. :mod:`repro.core.search` runs the Figure-4 heuristic search guided by
+   the cost model of :mod:`repro.core.cost`, and :mod:`repro.core.solver`
+   iterates signal insertion until CSC holds.
+"""
+
+from repro.core.regions import (
+    Crossing,
+    crossing,
+    is_region,
+    is_trivial_region,
+    minimal_preregions,
+    minimal_postregions,
+    minimal_regions_containing,
+    all_minimal_regions,
+)
+from repro.core.excitation import excitation_regions, switching_regions, excitation_set
+from repro.core.bricks import compute_bricks, brick_adjacency
+from repro.core.csc import (
+    CSCConflict,
+    csc_conflicts,
+    usc_conflicts,
+    has_csc,
+    has_usc,
+    conflicting_signals,
+)
+from repro.core.ipartition import (
+    IPartition,
+    exit_border,
+    min_wellformed_exit_border,
+    ipartition_from_block,
+    ipartition_violations,
+)
+from repro.core.insertion import insert_signal
+from repro.core.sip import (
+    InsertionCheck,
+    check_insertion,
+    delayed_events,
+    is_sip_region,
+    is_sip_excitation_region,
+    is_sip_preregion_intersection,
+)
+from repro.core.cost import Cost, BlockEvaluation, evaluate_block
+from repro.core.search import SearchSettings, InsertionPlan, find_insertion_plan
+from repro.core.solver import SolverSettings, EncodingResult, InsertionRecord, solve_csc
+
+__all__ = [
+    "Crossing",
+    "crossing",
+    "is_region",
+    "is_trivial_region",
+    "minimal_preregions",
+    "minimal_postregions",
+    "minimal_regions_containing",
+    "all_minimal_regions",
+    "excitation_regions",
+    "switching_regions",
+    "excitation_set",
+    "compute_bricks",
+    "brick_adjacency",
+    "CSCConflict",
+    "csc_conflicts",
+    "usc_conflicts",
+    "has_csc",
+    "has_usc",
+    "conflicting_signals",
+    "IPartition",
+    "exit_border",
+    "min_wellformed_exit_border",
+    "ipartition_from_block",
+    "ipartition_violations",
+    "insert_signal",
+    "InsertionCheck",
+    "check_insertion",
+    "delayed_events",
+    "is_sip_region",
+    "is_sip_excitation_region",
+    "is_sip_preregion_intersection",
+    "Cost",
+    "BlockEvaluation",
+    "evaluate_block",
+    "SearchSettings",
+    "InsertionPlan",
+    "find_insertion_plan",
+    "SolverSettings",
+    "EncodingResult",
+    "InsertionRecord",
+    "solve_csc",
+]

@@ -1,0 +1,125 @@
+"""Unique and Complete State Coding analysis (Section 4).
+
+A consistent state graph satisfies *Unique State Coding* (USC) when no two
+distinct states share a binary code, and *Complete State Coding* (CSC)
+when any two states sharing a code enable exactly the same set of
+non-input signal transitions.  CSC is necessary and sufficient for the
+existence of a logic implementation, and detecting the conflicting pairs
+is the starting point of the encoding algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.stg.signals import SignalEdge
+from repro.stg.state_graph import StateGraph
+from repro.utils.ordered import stable_sorted
+
+State = Hashable
+Code = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CSCConflict:
+    """A pair of states with equal codes but different non-input behaviour."""
+
+    first: State
+    second: State
+    code: Code
+
+    def pair(self) -> Tuple[State, State]:
+        return (self.first, self.second)
+
+
+def _states_by_code(sg: StateGraph) -> Dict[Code, List[State]]:
+    groups: Dict[Code, List[State]] = {}
+    for state in sg.states:
+        groups.setdefault(sg.code(state), []).append(state)
+    return groups
+
+
+def usc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
+    """All pairs of distinct states that share a binary code."""
+    pairs: List[Tuple[State, State]] = []
+    for _code, states in _states_by_code(sg).items():
+        if len(states) < 2:
+            continue
+        ordered = stable_sorted(states)
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1 :]:
+                pairs.append((first, second))
+    return pairs
+
+
+def _noninput_signature(sg: StateGraph, state: State) -> FrozenSet[SignalEdge]:
+    return frozenset(sg.enabled_noninput_edges(state))
+
+
+def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
+    """All CSC conflict pairs of the state graph.
+
+    Two states conflict when they have the same code and enable different
+    sets of non-input signal transitions (the pair ``(1*1, 1*1*)`` of
+    Figure 3, for instance, where ``b`` is enabled in one state only).
+    """
+    conflicts: List[CSCConflict] = []
+    for code, states in _states_by_code(sg).items():
+        if len(states) < 2:
+            continue
+        ordered = stable_sorted(states)
+        signatures = {state: _noninput_signature(sg, state) for state in ordered}
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1 :]:
+                if signatures[first] != signatures[second]:
+                    conflicts.append(CSCConflict(first, second, code))
+    return conflicts
+
+
+def has_usc(sg: StateGraph) -> bool:
+    """True iff every reachable state has a unique binary code."""
+    return all(len(states) == 1 for states in _states_by_code(sg).values())
+
+
+def has_csc(sg: StateGraph) -> bool:
+    """True iff the state graph satisfies Complete State Coding."""
+    for states in _states_by_code(sg).values():
+        if len(states) < 2:
+            continue
+        signatures = {_noninput_signature_from_list(sg, state) for state in states}
+        if len(signatures) > 1:
+            return False
+    return True
+
+
+def _noninput_signature_from_list(sg: StateGraph, state: State) -> FrozenSet[SignalEdge]:
+    return _noninput_signature(sg, state)
+
+
+def conflicting_signals(sg: StateGraph, first: State, second: State) -> Set[str]:
+    """Non-input signals whose next value differs between two states.
+
+    These are exactly the signals whose next-state function would be
+    ill-defined if the two states keep the same code.
+    """
+    result: Set[str] = set()
+    for signal in sg.non_input_signals:
+        if sg.next_value(first, signal) != sg.next_value(second, signal):
+            result.add(signal)
+    return result
+
+
+def csc_summary(sg: StateGraph) -> Dict[str, int]:
+    """Aggregate CSC statistics used by the CLI and the benchmark tables."""
+    conflicts = csc_conflicts(sg)
+    states_in_conflict: Set[State] = set()
+    for conflict in conflicts:
+        states_in_conflict.add(conflict.first)
+        states_in_conflict.add(conflict.second)
+    return {
+        "states": sg.num_states,
+        "usc_pairs": len(usc_conflicts(sg)),
+        "csc_pairs": len(conflicts),
+        "states_in_conflict": len(states_in_conflict),
+    }

@@ -1,0 +1,342 @@
+"""Heuristic search for the best insertion block (Section 5, Figure 4).
+
+The search keeps a *frontier* of FW good blocks (FW = frontier width, the
+paper's quality/time knob).  Each block is a union of bricks; at every
+iteration each frontier block is enlarged with every adjacent brick and
+the enlarged block survives only if it improves on its ancestor's cost.
+Once the frontier dries up, the best disconnected blocks are greedily
+merged, the resulting bipartition block is turned into an I-partition and
+validated with the exact SIP check, and (optionally) the concurrency of
+the new signal is increased by enlarging its excitation regions brick by
+brick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bricks import brick_adjacency, compute_bricks
+from repro.core.cost import BlockEvaluation, Cost, evaluate_block, evaluate_partition
+from repro.core.csc import CSCConflict, csc_conflicts
+from repro.core.ipartition import IPartition
+from repro.core.sip import InsertionCheck, check_insertion
+from repro.stg.signals import SignalType
+from repro.stg.state_graph import StateGraph
+from repro.ts.properties import is_event_persistent
+
+State = Hashable
+Brick = FrozenSet[State]
+
+
+@dataclass
+class SearchSettings:
+    """Tuning knobs of the Figure-4 search.
+
+    ``frontier_width`` is the FW parameter of the paper; ``brick_mode``
+    selects the granularity of the search space (``"regions"`` is the
+    paper's method, ``"excitation"`` and ``"states"`` are the baselines).
+    """
+
+    frontier_width: int = 8
+    brick_mode: str = "regions"
+    max_search_iterations: int = 50
+    max_validity_checks: int = 40
+    max_merge_candidates: int = 16
+    enlarge_concurrency: bool = False
+    region_budget: int = 20000
+    check_commutativity: bool = True
+    allow_input_delay: bool = False
+    max_conflict_pairs: int = 2000
+    require_actual_progress: bool = True
+
+
+@dataclass
+class InsertionPlan:
+    """A validated insertion: the chosen block, partition and expanded SG."""
+
+    signal: str
+    block: FrozenSet[State]
+    partition: IPartition
+    cost: Cost
+    check: InsertionCheck
+    conflicts_before: int
+    candidates_examined: int
+
+    @property
+    def new_sg(self) -> StateGraph:
+        assert self.check.new_sg is not None
+        return self.check.new_sg
+
+
+class _BlockCandidate:
+    """A block under construction: its states and the bricks composing it."""
+
+    __slots__ = ("states", "brick_indices", "evaluation")
+
+    def __init__(
+        self,
+        states: FrozenSet[State],
+        brick_indices: FrozenSet[int],
+        evaluation: BlockEvaluation,
+    ) -> None:
+        self.states = states
+        self.brick_indices = brick_indices
+        self.evaluation = evaluation
+
+    @property
+    def cost(self) -> Cost:
+        return self.evaluation.cost
+
+
+def _rank(candidates: Sequence[_BlockCandidate]) -> List[_BlockCandidate]:
+    return sorted(candidates, key=lambda c: (c.cost, len(c.states)))
+
+
+def find_insertion_plan(
+    sg: StateGraph,
+    signal: str,
+    settings: Optional[SearchSettings] = None,
+    conflicts: Optional[Sequence[CSCConflict]] = None,
+) -> Optional[InsertionPlan]:
+    """Find the best valid insertion of one new state signal.
+
+    Returns ``None`` when the state graph has no CSC conflicts or when no
+    valid candidate could be found within the search budget.
+    """
+    settings = settings or SearchSettings()
+    if conflicts is None:
+        conflicts = csc_conflicts(sg)
+    if not conflicts:
+        return None
+    full_conflict_count = len(conflicts)
+    if len(conflicts) > settings.max_conflict_pairs:
+        # Cost evaluation is linear in the number of conflict pairs; on
+        # heavily conflicting graphs a deterministic sample is enough to
+        # steer the search (the solver always re-checks the full set).
+        conflicts = conflicts[: settings.max_conflict_pairs]
+
+    bricks = compute_bricks(sg.ts, mode=settings.brick_mode, max_explored=settings.region_budget)
+    if not bricks:
+        return None
+    adjacency = brick_adjacency(sg.ts, bricks)
+
+    # --- seed: every brick is a candidate block -------------------------
+    seen_blocks: Set[FrozenSet[State]] = set()
+    good: List[_BlockCandidate] = []
+    for index, brick in enumerate(bricks):
+        evaluation = evaluate_block(
+            sg, brick, conflicts, allow_input_delay=settings.allow_input_delay
+        )
+        if evaluation is None or evaluation.block in seen_blocks:
+            continue
+        seen_blocks.add(evaluation.block)
+        good.append(_BlockCandidate(evaluation.block, frozenset([index]), evaluation))
+    if not good:
+        return None
+
+    frontier = _rank(good)[: settings.frontier_width]
+
+    # --- Figure 4: grow blocks with adjacent bricks ---------------------
+    for _iteration in range(settings.max_search_iterations):
+        new_frontier: List[_BlockCandidate] = []
+        for candidate in frontier:
+            neighbour_indices: Set[int] = set()
+            for brick_index in candidate.brick_indices:
+                neighbour_indices.update(adjacency[brick_index])
+            neighbour_indices -= set(candidate.brick_indices)
+            for brick_index in sorted(neighbour_indices):
+                grown_states = candidate.states | bricks[brick_index]
+                if grown_states in seen_blocks or len(grown_states) >= sg.num_states:
+                    continue
+                evaluation = evaluate_block(
+                    sg, grown_states, conflicts,
+                    allow_input_delay=settings.allow_input_delay,
+                )
+                seen_blocks.add(grown_states)
+                if evaluation is None:
+                    continue
+                if evaluation.cost < candidate.cost:
+                    grown = _BlockCandidate(
+                        grown_states,
+                        candidate.brick_indices | {brick_index},
+                        evaluation,
+                    )
+                    good.append(grown)
+                    new_frontier.append(grown)
+        if not new_frontier:
+            break
+        frontier = _rank(new_frontier)[: settings.frontier_width]
+
+    ranked = _rank(good)
+
+    # --- merge the best disconnected blocks ------------------------------
+    merged = _greedy_merge(sg, ranked, conflicts, settings)
+    if merged is not None:
+        ranked = [merged] + ranked
+
+    # --- validate candidates in cost order --------------------------------
+    persistent_before = {
+        event for event in sg.ts.events if is_event_persistent(sg.ts, event)
+    }
+    examined = 0
+    for candidate in ranked:
+        if examined >= settings.max_validity_checks:
+            break
+        if not settings.allow_input_delay and candidate.cost.input_delays > 0:
+            # The SIP check would reject it anyway; keep scanning so that
+            # deeper input-preserving candidates get their chance.
+            continue
+        examined += 1
+        check = check_insertion(
+            sg,
+            candidate.evaluation.partition,
+            signal=signal,
+            signal_type=SignalType.INTERNAL,
+            persistent_before=persistent_before,
+            check_commutativity=settings.check_commutativity,
+            allow_input_delay=settings.allow_input_delay,
+        )
+        if not check.ok:
+            continue
+        if settings.require_actual_progress and check.new_sg is not None:
+            remaining_after = len(csc_conflicts(check.new_sg))
+            if remaining_after >= full_conflict_count:
+                # Valid but useless: it would not reduce the number of
+                # conflicts, so keep looking for a candidate that does.
+                continue
+        partition = candidate.evaluation.partition
+        cost = candidate.cost
+        if settings.enlarge_concurrency:
+            partition, cost, check = _enlarge_concurrency(
+                sg, candidate, bricks, conflicts, settings, persistent_before, signal, check
+            )
+        return InsertionPlan(
+            signal=signal,
+            block=candidate.states,
+            partition=partition,
+            cost=cost,
+            check=check,
+            conflicts_before=len(conflicts),
+            candidates_examined=examined,
+        )
+    return None
+
+
+def _greedy_merge(
+    sg: StateGraph,
+    ranked: Sequence[_BlockCandidate],
+    conflicts: Sequence[CSCConflict],
+    settings: SearchSettings,
+) -> Optional[_BlockCandidate]:
+    """Union of the best disconnected blocks (last step of Section 5).
+
+    Starting from the best block, greedily add other good blocks whenever
+    the union improves the cost.  Returns the merged candidate or ``None``
+    when no merge improved on the best single block.
+    """
+    if not ranked:
+        return None
+    best = ranked[0]
+    current_states = best.states
+    current_bricks = best.brick_indices
+    current_eval = best.evaluation
+    improved = False
+    for other in ranked[1 : settings.max_merge_candidates]:
+        union_states = current_states | other.states
+        if len(union_states) >= sg.num_states or union_states == current_states:
+            continue
+        evaluation = evaluate_block(
+            sg, union_states, conflicts, allow_input_delay=settings.allow_input_delay
+        )
+        if evaluation is None:
+            continue
+        if evaluation.cost < current_eval.cost:
+            current_states = union_states
+            current_bricks = current_bricks | other.brick_indices
+            current_eval = evaluation
+            improved = True
+    if not improved:
+        return None
+    return _BlockCandidate(current_states, current_bricks, current_eval)
+
+
+def _close_border(
+    sg: StateGraph, border: Set[State], side: FrozenSet[State]
+) -> Set[State]:
+    """Close ``border`` under successors inside ``side`` (well-formedness)."""
+    closed = set(border)
+    frontier = list(closed)
+    while frontier:
+        state = frontier.pop()
+        for _event, target in sg.ts.successors(state):
+            if target in side and target not in closed:
+                closed.add(target)
+                frontier.append(target)
+    return closed
+
+
+def _enlarge_concurrency(
+    sg: StateGraph,
+    candidate: _BlockCandidate,
+    bricks: Sequence[Brick],
+    conflicts: Sequence[CSCConflict],
+    settings: SearchSettings,
+    persistent_before: Set,
+    signal: str,
+    base_check: InsertionCheck,
+) -> Tuple[IPartition, Cost, InsertionCheck]:
+    """Greedily enlarge ER(x+) / ER(x-) with adjacent bricks (Section 5).
+
+    Enlarging an excitation region makes the new signal's transition
+    concurrent with more of the original behaviour (faster circuit) at the
+    price of potentially more logic; following the paper, an enlargement
+    is kept only if it improves the cost, and it must of course remain a
+    valid SIP insertion.
+    """
+    partition = candidate.evaluation.partition
+    cost = candidate.cost
+    check = base_check
+    zero_side = partition.s0 | partition.splus
+    one_side = partition.s1 | partition.sminus
+
+    for brick in bricks:
+        improved_partition = None
+        if brick <= zero_side and not (brick <= partition.splus):
+            new_plus = _close_border(sg, set(partition.splus) | set(brick & zero_side), zero_side)
+            improved_partition = IPartition(
+                s0=frozenset(zero_side - new_plus),
+                splus=frozenset(new_plus),
+                s1=partition.s1,
+                sminus=partition.sminus,
+            )
+        elif brick <= one_side and not (brick <= partition.sminus):
+            new_minus = _close_border(sg, set(partition.sminus) | set(brick & one_side), one_side)
+            improved_partition = IPartition(
+                s0=partition.s0,
+                splus=partition.splus,
+                s1=frozenset(one_side - new_minus),
+                sminus=frozenset(new_minus),
+            )
+        if improved_partition is None:
+            continue
+        new_cost = evaluate_partition(
+            sg,
+            improved_partition,
+            conflicts,
+            count_input_delays=not settings.allow_input_delay,
+        )
+        if not (new_cost < cost):
+            continue
+        new_check = check_insertion(
+            sg,
+            improved_partition,
+            signal=signal,
+            signal_type=SignalType.INTERNAL,
+            persistent_before=persistent_before,
+            check_commutativity=settings.check_commutativity,
+            allow_input_delay=settings.allow_input_delay,
+        )
+        if new_check.ok:
+            partition, cost, check = improved_partition, new_cost, new_check
+    return partition, cost, check

@@ -1,0 +1,158 @@
+"""The top-level CSC solver: iterate signal insertion until CSC holds.
+
+One invocation of the Figure-4 search chooses and inserts a single state
+signal.  Because states on the insertion borders keep both values of the
+new signal, *secondary* conflicts can remain (Figure 3); the solver simply
+re-analyses the expanded state graph and inserts further signals until no
+conflict is left (the paper proves convergence for safe, consistent,
+output-persistent STGs) or the signal budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.csc import csc_conflicts
+from repro.core.ipartition import IPartition
+from repro.core.search import InsertionPlan, SearchSettings, find_insertion_plan
+from repro.stg.state_graph import StateGraph
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class SolverSettings:
+    """Configuration of the iterative CSC solver."""
+
+    search: SearchSettings = field(default_factory=SearchSettings)
+    max_signals: int = 32
+    signal_prefix: str = "csc"
+    verbose: bool = False
+    require_progress: bool = True
+
+
+@dataclass
+class InsertionRecord:
+    """Bookkeeping for one inserted state signal."""
+
+    signal: str
+    conflicts_before: int
+    conflicts_after: int
+    states_before: int
+    states_after: int
+    splus_size: int
+    sminus_size: int
+    cost: object
+    candidates_examined: int
+
+
+@dataclass
+class EncodingResult:
+    """Outcome of a CSC-solving run."""
+
+    initial_sg: StateGraph
+    final_sg: StateGraph
+    records: List[InsertionRecord] = field(default_factory=list)
+    solved: bool = False
+    conflicts_remaining: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def inserted_signals(self) -> List[str]:
+        return [record.signal for record in self.records]
+
+    @property
+    def num_inserted(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the CLI and the benchmark tables."""
+        return {
+            "name": self.initial_sg.name,
+            "states_before": self.initial_sg.num_states,
+            "states_after": self.final_sg.num_states,
+            "signals_before": len(self.initial_sg.signals),
+            "signals_after": len(self.final_sg.signals),
+            "inserted": self.num_inserted,
+            "solved": self.solved,
+            "conflicts_remaining": self.conflicts_remaining,
+            "cpu_seconds": round(self.cpu_seconds, 3),
+        }
+
+
+def _fresh_signal_name(sg: StateGraph, prefix: str, counter: int) -> str:
+    name = f"{prefix}{counter}"
+    existing = set(sg.signals)
+    while name in existing:
+        counter += 1
+        name = f"{prefix}{counter}"
+    return name
+
+
+def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> EncodingResult:
+    """Insert state signals until the state graph satisfies CSC.
+
+    The input state graph is not modified; the result carries both the
+    original and the final (encoded) state graph together with a record of
+    every insertion.
+    """
+    settings = settings or SolverSettings()
+    result = EncodingResult(initial_sg=sg, final_sg=sg)
+    watch = Stopwatch().start()
+
+    current = sg
+    for counter in range(settings.max_signals):
+        conflicts = csc_conflicts(current)
+        if not conflicts:
+            result.solved = True
+            break
+        signal = _fresh_signal_name(current, settings.signal_prefix, counter)
+        plan: Optional[InsertionPlan] = find_insertion_plan(
+            current, signal, settings.search, conflicts=conflicts
+        )
+        if plan is None:
+            if settings.verbose:
+                print(f"[solver] no valid insertion found with {len(conflicts)} conflicts left")
+            break
+        new_sg = plan.new_sg
+        conflicts_after = len(csc_conflicts(new_sg))
+        if settings.require_progress and conflicts_after >= len(conflicts):
+            # The best valid insertion does not reduce the number of
+            # conflicts: the specification cannot be solved within the
+            # current constraints (typically: without delaying inputs).
+            # Stop instead of piling up useless state signals.
+            if settings.verbose:
+                print(
+                    f"[solver] insertion of {signal} would not reduce conflicts "
+                    f"({len(conflicts)} -> {conflicts_after}); stopping"
+                )
+            break
+        result.records.append(
+            InsertionRecord(
+                signal=signal,
+                conflicts_before=len(conflicts),
+                conflicts_after=conflicts_after,
+                states_before=current.num_states,
+                states_after=new_sg.num_states,
+                splus_size=len(plan.partition.splus),
+                sminus_size=len(plan.partition.sminus),
+                cost=plan.cost,
+                candidates_examined=plan.candidates_examined,
+            )
+        )
+        if settings.verbose:
+            print(
+                f"[solver] inserted {signal}: conflicts {len(conflicts)} -> {conflicts_after}, "
+                f"states {current.num_states} -> {new_sg.num_states}"
+            )
+        current = new_sg
+    else:
+        # Signal budget exhausted; fall through to the final conflict count.
+        pass
+
+    remaining = csc_conflicts(current)
+    result.final_sg = current
+    result.solved = not remaining
+    result.conflicts_remaining = len(remaining)
+    result.cpu_seconds = watch.stop()
+    return result

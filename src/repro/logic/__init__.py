@@ -1,0 +1,38 @@
+"""Speed-independent logic estimation.
+
+Once CSC holds, every non-input signal has a well-defined next-state
+function of the signal vector.  This package extracts those functions from
+the encoded state graph, minimises them as two-level covers (an
+espresso-style expand / irredundant-cover heuristic working from explicit
+ON/OFF sets), and reports literal counts — the "area" proxy used to
+reproduce Table 2 — together with per-signal complex-gate descriptions and
+trigger-signal statistics.
+"""
+
+from repro.logic.cubes import Cube, Cover
+from repro.logic.minimize import minimize_cover, expand_cube
+from repro.logic.nextstate import (
+    CSCViolationError,
+    NextStateFunction,
+    extract_next_state_function,
+)
+from repro.logic.netlist import (
+    SignalImplementation,
+    CircuitEstimate,
+    estimate_circuit,
+    trigger_signal_count,
+)
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "minimize_cover",
+    "expand_cube",
+    "CSCViolationError",
+    "NextStateFunction",
+    "extract_next_state_function",
+    "SignalImplementation",
+    "CircuitEstimate",
+    "estimate_circuit",
+    "trigger_signal_count",
+]

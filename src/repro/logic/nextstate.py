@@ -1,0 +1,102 @@
+"""Next-state functions of non-input signals.
+
+In a speed-independent implementation each non-input signal ``a`` is
+produced by a (complex) gate computing its *next-state function*: the
+value ``a`` is heading to, as a function of the current signal vector.
+The function is well defined exactly when the state graph satisfies CSC —
+two states with the same code must imply the same next value for every
+non-input signal — which is why CSC is the necessary and sufficient
+condition for implementability (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.logic.cubes import Cover
+from repro.logic.minimize import minimize_cover
+from repro.stg.state_graph import StateGraph
+
+Code = Tuple[int, ...]
+
+
+class CSCViolationError(ValueError):
+    """Raised when a next-state function is requested for a state graph
+    that still has CSC conflicts on the relevant signal."""
+
+
+@dataclass
+class NextStateFunction:
+    """ON/OFF/DC characterisation and minimised cover of one signal."""
+
+    signal: str
+    inputs: List[str]
+    on_set: List[Code]
+    off_set: List[Code]
+    cover: Cover
+
+    @property
+    def literal_count(self) -> int:
+        return self.cover.literal_count()
+
+    @property
+    def cube_count(self) -> int:
+        return len(self.cover)
+
+    def expression(self) -> str:
+        """The minimised function as a boolean expression over signal names."""
+        return self.cover.to_expression(self.inputs)
+
+    def evaluate(self, code: Code) -> int:
+        return 1 if self.cover.contains_minterm(code) else 0
+
+
+def _classify_codes(sg: StateGraph, signal: str) -> Tuple[Set[Code], Set[Code]]:
+    """Split the reachable codes into ON (next value 1) and OFF (next 0)."""
+    on_codes: Set[Code] = set()
+    off_codes: Set[Code] = set()
+    for state in sg.states:
+        code = sg.code(state)
+        if sg.next_value(state, signal):
+            on_codes.add(code)
+        else:
+            off_codes.add(code)
+    return on_codes, off_codes
+
+
+def extract_next_state_function(sg: StateGraph, signal: str) -> NextStateFunction:
+    """Extract and minimise the next-state function of ``signal``.
+
+    Raises :class:`CSCViolationError` when some reachable code requires
+    both next values — i.e. when a CSC conflict involves ``signal``.
+    Unreachable codes are don't cares.
+    """
+    if signal not in sg.signals:
+        raise KeyError(f"unknown signal {signal!r}")
+    if sg.is_input_signal(signal):
+        raise ValueError(f"signal {signal!r} is an input; it has no next-state function")
+
+    on_codes, off_codes = _classify_codes(sg, signal)
+    overlap = on_codes & off_codes
+    if overlap:
+        raise CSCViolationError(
+            f"signal {signal!r} has {len(overlap)} codes with contradictory next values; "
+            "solve CSC before extracting logic"
+        )
+    cover = minimize_cover(sorted(on_codes), sorted(off_codes), width=len(sg.signals))
+    return NextStateFunction(
+        signal=signal,
+        inputs=list(sg.signals),
+        on_set=sorted(on_codes),
+        off_set=sorted(off_codes),
+        cover=cover,
+    )
+
+
+def extract_all_functions(sg: StateGraph) -> Dict[str, NextStateFunction]:
+    """Next-state functions of every non-input signal."""
+    return {
+        signal: extract_next_state_function(sg, signal)
+        for signal in sg.non_input_signals
+    }

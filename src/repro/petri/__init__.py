@@ -1,0 +1,22 @@
+"""Petri nets: places, transitions, token game, reachability, synthesis.
+
+Signal Transition Graphs (``repro.stg``) are Petri nets whose transitions
+are labelled with signal changes; the reachability graph of a Petri net is
+a transition system (``repro.ts``).  The synthesis module re-derives a
+Petri net from a transition system using minimal regions — the step the
+paper relies on to hand the encoded specification back to the designer as
+an STG rather than a flat state graph.
+"""
+
+from repro.petri.net import PetriNet, Marking
+from repro.petri.reachability import ReachabilityResult, build_reachability_graph
+from repro.petri.properties import is_safe, place_bounds
+
+__all__ = [
+    "PetriNet",
+    "Marking",
+    "ReachabilityResult",
+    "build_reachability_graph",
+    "is_safe",
+    "place_bounds",
+]

@@ -1,0 +1,63 @@
+"""Structural and behavioural properties of Petri nets."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.petri.net import PetriNet
+from repro.petri.reachability import build_reachability_graph
+
+Place = Hashable
+
+
+def place_bounds(net: PetriNet, max_markings: Optional[int] = None) -> Dict[Place, int]:
+    """The maximum token count observed in each place over all reachable
+    markings (exhaustive exploration)."""
+    result = build_reachability_graph(net, max_markings=max_markings)
+    bounds = {place: 0 for place in net.places}
+    for marking in result.graph.states:
+        for place, count in marking.items():
+            if count > bounds.get(place, 0):
+                bounds[place] = count
+    return bounds
+
+
+def is_safe(net: PetriNet, max_markings: Optional[int] = None) -> bool:
+    """True iff no reachable marking puts more than one token in a place.
+
+    Safeness is a prerequisite of the paper's completeness claim ("the
+    method can solve CSC for any safe, consistent, output-persistent STG").
+    """
+    result = build_reachability_graph(net, max_markings=max_markings)
+    return result.safe
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Structural free-choice check.
+
+    For every pair of transitions sharing an input place, the presets must
+    coincide.  Not required by the paper's method but a useful structural
+    diagnostic for benchmark STGs.
+    """
+    for place in net.places:
+        consumers = list(net.place_postset(place))
+        if len(consumers) <= 1:
+            continue
+        reference = net.preset(consumers[0])
+        for transition in consumers[1:]:
+            if net.preset(transition) != reference:
+                return False
+    return True
+
+
+def has_source_and_sink_isolation(net: PetriNet) -> bool:
+    """True iff every transition has at least one input and one output place.
+
+    Transitions without inputs would be permanently enabled and make the
+    reachability graph infinite; benchmark loaders use this as a sanity
+    check after parsing.
+    """
+    for transition in net.transitions:
+        if not net.preset(transition) or not net.postset(transition):
+            return False
+    return True

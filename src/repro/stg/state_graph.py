@@ -1,0 +1,337 @@
+"""Binary-encoded state graphs.
+
+The state graph (SG) of an STG is the reachability graph of its underlying
+Petri net with every state labelled by the vector of signal values — the
+binary-encoded transition system on which the whole CSC theory of the
+paper operates.  A :class:`StateGraph` couples a
+:class:`~repro.ts.transition_system.TransitionSystem` whose events are
+:class:`~repro.stg.signals.SignalEdge` objects with the signal declaration
+and the state encoding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.stg.signals import SignalEdge, SignalType
+from repro.stg.stg import STG
+from repro.petri.reachability import build_reachability_graph
+from repro.ts.transition_system import TransitionSystem
+from repro.ts.properties import is_commutative, is_deterministic, is_event_persistent
+
+State = Hashable
+Code = Tuple[int, ...]
+
+
+class InconsistentSTGError(ValueError):
+    """Raised when an STG does not admit a consistent binary encoding.
+
+    Consistency ("rising and falling transitions alternate for each signal
+    in every firing sequence") is a necessary condition for
+    implementability; CSC only makes sense on top of it (Section 4).
+    """
+
+
+class StateGraph:
+    """A transition system together with a binary signal encoding."""
+
+    def __init__(
+        self,
+        ts: TransitionSystem,
+        signals: Sequence[str],
+        signal_types: Dict[str, SignalType],
+        encoding: Dict[State, Code],
+        name: Optional[str] = None,
+    ) -> None:
+        self.ts = ts
+        self.signals: List[str] = list(signals)
+        self.signal_types = dict(signal_types)
+        self.encoding = dict(encoding)
+        self.name = name or ts.name
+        self._index = {signal: position for position, signal in enumerate(self.signals)}
+
+    # ------------------------------------------------------------------
+    # signal bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def input_signals(self) -> List[str]:
+        return [s for s in self.signals if self.signal_types[s] is SignalType.INPUT]
+
+    @property
+    def output_signals(self) -> List[str]:
+        return [s for s in self.signals if self.signal_types[s] is SignalType.OUTPUT]
+
+    @property
+    def internal_signals(self) -> List[str]:
+        return [s for s in self.signals if self.signal_types[s] is SignalType.INTERNAL]
+
+    @property
+    def non_input_signals(self) -> List[str]:
+        return [s for s in self.signals if self.signal_types[s].is_noninput]
+
+    def signal_index(self, signal: str) -> int:
+        return self._index[signal]
+
+    def is_input_signal(self, signal: str) -> bool:
+        return self.signal_types[signal] is SignalType.INPUT
+
+    def is_input_edge(self, edge: SignalEdge) -> bool:
+        return self.is_input_signal(edge.signal)
+
+    # ------------------------------------------------------------------
+    # states and codes
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> List[State]:
+        return self.ts.states
+
+    @property
+    def initial_state(self) -> State:
+        return self.ts.initial_state
+
+    @property
+    def num_states(self) -> int:
+        return self.ts.num_states
+
+    def code(self, state: State) -> Code:
+        return self.encoding[state]
+
+    def code_str(self, state: State) -> str:
+        """Human-readable code with ``*`` after excited signals, as in
+        Figure 3 of the paper (e.g. ``"1*0 1"`` style strings)."""
+        code = self.encoding[state]
+        excited = {edge.signal for edge in self.enabled_edges(state)}
+        parts = []
+        for signal, value in zip(self.signals, code):
+            star = "*" if signal in excited else ""
+            parts.append(f"{value}{star}")
+        return "".join(parts)
+
+    def value(self, state: State, signal: str) -> int:
+        return self.encoding[state][self._index[signal]]
+
+    def enabled_edges(self, state: State) -> List[SignalEdge]:
+        return self.ts.enabled_events(state)
+
+    def enabled_noninput_edges(self, state: State) -> List[SignalEdge]:
+        return [edge for edge in self.enabled_edges(state) if not self.is_input_edge(edge)]
+
+    def is_excited(self, state: State, signal: str) -> bool:
+        """True iff some transition of ``signal`` is enabled in ``state``."""
+        return any(edge.signal == signal for edge in self.enabled_edges(state))
+
+    def next_value(self, state: State, signal: str) -> int:
+        """The value ``signal`` is heading to in ``state``.
+
+        This is the implied value of the next-state function: the current
+        value if the signal is stable, the complemented value if it is
+        excited.  Well defined per *state*; CSC is exactly the condition
+        that makes it well defined per *code* for non-input signals.
+        """
+        current = self.value(state, signal)
+        return 1 - current if self.is_excited(state, signal) else current
+
+    # ------------------------------------------------------------------
+    # behavioural checks
+    # ------------------------------------------------------------------
+    def consistency_violations(self) -> List[str]:
+        """Arcs whose label does not match the codes of their endpoints."""
+        problems = []
+        for source, edge, target in self.ts.transitions():
+            source_code = self.encoding[source]
+            target_code = self.encoding[target]
+            position = self._index[edge.signal]
+            if source_code[position] != edge.value_before():
+                problems.append(
+                    f"{edge} fired from state with {edge.signal}={source_code[position]}"
+                )
+            if target_code[position] != edge.value_after():
+                problems.append(
+                    f"{edge} led to state with {edge.signal}={target_code[position]}"
+                )
+            for signal, index in self._index.items():
+                if signal != edge.signal and source_code[index] != target_code[index]:
+                    problems.append(
+                        f"{edge} changed unrelated signal {signal} "
+                        f"({source_code[index]} -> {target_code[index]})"
+                    )
+        return problems
+
+    def is_consistent(self) -> bool:
+        return not self.consistency_violations()
+
+    def is_deterministic(self) -> bool:
+        return is_deterministic(self.ts)
+
+    def is_commutative(self) -> bool:
+        return is_commutative(self.ts)
+
+    def is_output_persistent(self) -> bool:
+        """True iff every non-input signal edge is persistent.
+
+        Together with determinism and commutativity this guarantees a
+        speed-independent implementation of the encoded TS (Section 3).
+        """
+        for event in self.ts.events:
+            if isinstance(event, SignalEdge) and not self.is_input_edge(event):
+                if not is_event_persistent(self.ts, event):
+                    return False
+        return True
+
+    def speed_independence_report(self) -> Dict[str, bool]:
+        return {
+            "deterministic": self.is_deterministic(),
+            "commutative": self.is_commutative(),
+            "output_persistent": self.is_output_persistent(),
+            "consistent": self.is_consistent(),
+        }
+
+    # ------------------------------------------------------------------
+    # manipulation
+    # ------------------------------------------------------------------
+    def copy(self) -> "StateGraph":
+        return StateGraph(
+            self.ts.copy(),
+            list(self.signals),
+            dict(self.signal_types),
+            dict(self.encoding),
+            self.name,
+        )
+
+    def restrict(self, keep: Iterable[State]) -> "StateGraph":
+        keep_set = set(keep)
+        sub_ts = self.ts.restrict(keep_set)
+        sub_encoding = {s: c for s, c in self.encoding.items() if s in keep_set}
+        return StateGraph(sub_ts, self.signals, self.signal_types, sub_encoding, self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateGraph(name={self.name!r}, states={self.num_states}, "
+            f"signals={len(self.signals)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# encoding inference
+# ----------------------------------------------------------------------
+def infer_encoding(
+    ts: TransitionSystem,
+    signals: Sequence[str],
+    initial_values: Optional[Dict[str, int]] = None,
+) -> Dict[State, Code]:
+    """Compute the unique consistent binary encoding of a labelled TS.
+
+    Every arc labelled ``a+`` forces ``a = 0`` at its source and ``a = 1``
+    at its target, and leaves every other signal unchanged.  Values are
+    propagated to a fixpoint; a contradiction means the underlying STG is
+    not consistently labelled.  Signals whose value is not constrained on
+    some states (e.g. signals that never switch) default to the value in
+    ``initial_values`` or to 0.
+    """
+    initial_values = dict(initial_values or {})
+    index = {signal: position for position, signal in enumerate(signals)}
+    known: Dict[State, Dict[str, int]] = {state: {} for state in ts.states}
+
+    # Seed facts from the arcs themselves.
+    queue = deque()
+
+    def assign(state: State, signal: str, value: int, reason: str) -> None:
+        current = known[state].get(signal)
+        if current is None:
+            known[state][signal] = value
+            queue.append((state, signal))
+        elif current != value:
+            raise InconsistentSTGError(
+                f"signal {signal!r} forced to both {current} and {value} "
+                f"in state {state!r} ({reason})"
+            )
+
+    arcs_by_state: Dict[State, List[Tuple[SignalEdge, State, int]]] = {
+        state: [] for state in ts.states
+    }
+    for source, edge, target in ts.transitions():
+        if not isinstance(edge, SignalEdge):
+            raise TypeError(f"state-graph events must be SignalEdge, got {edge!r}")
+        arcs_by_state[source].append((edge, target, +1))
+        arcs_by_state[target].append((edge, source, -1))
+        assign(source, edge.signal, edge.value_before(), f"source of {edge}")
+        assign(target, edge.signal, edge.value_after(), f"target of {edge}")
+
+    # Propagate: signals not switched by an arc keep their value across it.
+    while queue:
+        state, signal = queue.popleft()
+        value = known[state][signal]
+        for edge, other, _direction in arcs_by_state[state]:
+            if edge.signal != signal:
+                other_value = known[other].get(signal)
+                if other_value is None:
+                    assign(other, signal, value, f"propagated across {edge}")
+                elif other_value != value:
+                    raise InconsistentSTGError(
+                        f"signal {signal!r} inconsistent across {edge}: "
+                        f"{value} vs {other_value}"
+                    )
+
+    # Fill unconstrained values from initial_values / default 0, propagating
+    # connected-component-wise is unnecessary: unconstrained means the value
+    # never changes anywhere reachable, so a single constant suffices.
+    encoding: Dict[State, Code] = {}
+    for state in ts.states:
+        values = []
+        for signal in signals:
+            value = known[state].get(signal)
+            if value is None:
+                value = initial_values.get(signal, 0)
+            values.append(value)
+        encoding[state] = tuple(values)
+
+    # If explicit initial values were supplied, verify them on the initial state.
+    if ts.initial_state is not None:
+        for signal, value in initial_values.items():
+            if signal in index:
+                actual = encoding[ts.initial_state][index[signal]]
+                if actual != value:
+                    raise InconsistentSTGError(
+                        f"declared initial value {signal}={value} contradicts the "
+                        f"inferred value {actual}"
+                    )
+    return encoding
+
+
+def build_state_graph(
+    stg: STG,
+    initial_values: Optional[Dict[str, int]] = None,
+    max_states: Optional[int] = None,
+) -> StateGraph:
+    """Elaborate an STG into its binary-encoded state graph.
+
+    Raises :class:`InconsistentSTGError` when the STG is not consistent and
+    :class:`NotImplementedError` when it contains dummy transitions (dummy
+    contraction is outside the scope of this reproduction).
+    """
+    if stg.dummy_transitions:
+        raise NotImplementedError(
+            "state-graph elaboration of STGs with dummy transitions is not supported"
+        )
+    result = build_reachability_graph(
+        stg.net,
+        max_markings=max_states,
+        label=lambda name: stg.label_of(name).base(),
+    )
+    if not result.safe:
+        raise InconsistentSTGError(
+            f"the underlying Petri net of {stg.name!r} is not safe; the region-based "
+            "encoding theory assumes safe STGs"
+        )
+    merged_initial = dict(stg.initial_values)
+    if initial_values:
+        merged_initial.update(initial_values)
+    encoding = infer_encoding(result.graph, stg.signals, merged_initial)
+    return StateGraph(
+        ts=result.graph,
+        signals=stg.signals,
+        signal_types={s: stg.signal_types[s] for s in stg.signals},
+        encoding=encoding,
+        name=stg.name,
+    )

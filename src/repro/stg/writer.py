@@ -1,0 +1,81 @@
+"""Writer for the ``.g`` (astg) STG exchange format.
+
+``stg_to_g_text`` is the inverse of :func:`repro.stg.parser.parse_g` up to
+formatting: parsing the produced text yields an STG with the same places,
+transitions, arcs and initial marking.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.stg.stg import STG
+
+_IMPLICIT_RE = re.compile(r"^<([^,>]+),([^,>]+)>$")
+
+
+def _graph_lines(stg: STG) -> List[str]:
+    lines = []
+    net = stg.net
+    emitted_implicit = set()
+
+    for transition in net.transitions:
+        targets: List[str] = []
+        for place in net.postset(transition):
+            match = _IMPLICIT_RE.match(str(place))
+            consumers = list(net.place_postset(place))
+            producers = list(net.place_preset(place))
+            if (
+                match is not None
+                and len(consumers) == 1
+                and len(producers) == 1
+                and match.group(1) == str(transition)
+                and match.group(2) == str(consumers[0])
+            ):
+                # implicit place: emit a direct transition->transition arc
+                targets.append(str(consumers[0]))
+                emitted_implicit.add(place)
+            else:
+                targets.append(str(place))
+        if targets:
+            lines.append(f"{transition} " + " ".join(targets))
+
+    for place in net.places:
+        if place in emitted_implicit:
+            continue
+        consumers = list(net.place_postset(place))
+        if consumers:
+            lines.append(f"{place} " + " ".join(str(t) for t in consumers))
+    return lines
+
+
+def stg_to_g_text(stg: STG) -> str:
+    """Serialise ``stg`` to ``.g`` text."""
+    parts: List[str] = [f".model {stg.name}"]
+    if stg.input_signals:
+        parts.append(".inputs " + " ".join(stg.input_signals))
+    if stg.output_signals:
+        parts.append(".outputs " + " ".join(stg.output_signals))
+    if stg.internal_signals:
+        parts.append(".internal " + " ".join(stg.internal_signals))
+    if stg.dummy_transitions:
+        parts.append(".dummy " + " ".join(stg.dummy_transitions))
+    parts.append(".graph")
+    parts.extend(_graph_lines(stg))
+
+    marking_tokens = []
+    for place, count in stg.initial_marking.items():
+        token = str(place)
+        if count > 1:
+            token = f"{token}={count}"
+        marking_tokens.append(token)
+    parts.append(".marking { " + " ".join(marking_tokens) + " }")
+    parts.append(".end")
+    return "\n".join(parts) + "\n"
+
+
+def write_g(stg: STG, path: str) -> None:
+    """Write ``stg`` to a ``.g`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(stg_to_g_text(stg))

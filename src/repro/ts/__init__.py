@@ -1,0 +1,30 @@
+"""Transition systems: the semantic substrate of the whole library.
+
+A *transition system* (TS) is an arc-labelled directed graph
+``(S, E, T, s0)`` with states ``S``, events ``E``, transitions
+``T ⊆ S × E × S`` and an initial state ``s0`` (Section 2.1 of the paper).
+State graphs of Signal Transition Graphs, reachability graphs of Petri
+nets and the encoded specifications produced by signal insertion are all
+transition systems.
+"""
+
+from repro.ts.transition_system import TransitionSystem
+from repro.ts.properties import (
+    is_commutative,
+    is_deterministic,
+    is_event_persistent,
+    persistent_events,
+    is_weakly_connected,
+)
+from repro.ts.equivalence import deterministic_isomorphic, language_equivalent
+
+__all__ = [
+    "TransitionSystem",
+    "is_deterministic",
+    "is_commutative",
+    "is_event_persistent",
+    "persistent_events",
+    "is_weakly_connected",
+    "deterministic_isomorphic",
+    "language_equivalent",
+]

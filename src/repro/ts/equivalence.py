@@ -1,0 +1,137 @@
+"""Equivalence checks between transition systems.
+
+Two checks are provided:
+
+* :func:`deterministic_isomorphic` — label-preserving isomorphism between
+  deterministic, reachable transition systems.  Used to reproduce the
+  Figure-1 claim that the reachability graph of the synthesised Petri net
+  is isomorphic to the original TS.
+* :func:`language_equivalent` — trace (language) equivalence, optionally
+  hiding a set of events.  This is requirement (1) that the paper places
+  on the state-encoding process: the encoded specification must be trace
+  equivalent to the original one once the inserted state signals are
+  abstracted away.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Hashable, Iterable, Set, Tuple
+
+from repro.ts.transition_system import TransitionSystem
+
+Event = Hashable
+
+
+def deterministic_isomorphic(first: TransitionSystem, second: TransitionSystem) -> bool:
+    """Label-preserving isomorphism of deterministic reachable TSs.
+
+    Both systems must have an initial state.  The check walks both systems
+    in lock-step from their initial states, building a bijection between
+    states.  For deterministic systems this is sound and complete on the
+    reachable parts.
+    """
+    if first.initial_state is None or second.initial_state is None:
+        raise ValueError("both transition systems need an initial state")
+
+    mapping = {first.initial_state: second.initial_state}
+    reverse = {second.initial_state: first.initial_state}
+    frontier = deque([first.initial_state])
+    visited = {first.initial_state}
+
+    while frontier:
+        state_a = frontier.popleft()
+        state_b = mapping[state_a]
+        succ_a = {event: target for event, target in first.successors(state_a)}
+        succ_b = {event: target for event, target in second.successors(state_b)}
+        if set(succ_a) != set(succ_b):
+            return False
+        for event, target_a in succ_a.items():
+            target_b = succ_b[event]
+            if target_a in mapping:
+                if mapping[target_a] != target_b:
+                    return False
+            elif target_b in reverse:
+                return False
+            else:
+                mapping[target_a] = target_b
+                reverse[target_b] = target_a
+            if target_a not in visited:
+                visited.add(target_a)
+                frontier.append(target_a)
+
+    reachable_a = first.reachable_states()
+    reachable_b = second.reachable_states()
+    return len(reachable_a) == len(reachable_b) == len(mapping)
+
+
+def _closure(
+    ts: TransitionSystem, states: Iterable, hidden: Set[Event]
+) -> FrozenSet:
+    """States reachable from ``states`` by firing only hidden events."""
+    result = set(states)
+    frontier = deque(result)
+    while frontier:
+        state = frontier.popleft()
+        for event, target in ts.successors(state):
+            if event in hidden and target not in result:
+                result.add(target)
+                frontier.append(target)
+    return frozenset(result)
+
+
+def _visible_enabled(ts: TransitionSystem, subset: FrozenSet, hidden: Set[Event]):
+    events = set()
+    for state in subset:
+        for event, _target in ts.successors(state):
+            if event not in hidden:
+                events.add(event)
+    return events
+
+
+def _visible_step(
+    ts: TransitionSystem, subset: FrozenSet, event: Event, hidden: Set[Event]
+) -> FrozenSet:
+    targets = set()
+    for state in subset:
+        for candidate, target in ts.successors(state):
+            if candidate == event:
+                targets.add(target)
+    return _closure(ts, targets, hidden)
+
+
+def language_equivalent(
+    first: TransitionSystem,
+    second: TransitionSystem,
+    hidden: Iterable[Event] = (),
+) -> bool:
+    """Trace equivalence after hiding ``hidden`` events.
+
+    Both systems are determinised on the fly with the classical subset
+    construction, treating hidden events as silent moves.  Suitable for
+    the moderately sized state graphs used in tests and examples; the
+    worst case is exponential, as for any language-equivalence check.
+    """
+    if first.initial_state is None or second.initial_state is None:
+        raise ValueError("both transition systems need an initial state")
+    hidden_set = set(hidden)
+
+    start_a = _closure(first, [first.initial_state], hidden_set)
+    start_b = _closure(second, [second.initial_state], hidden_set)
+    visited: Set[Tuple[FrozenSet, FrozenSet]] = {(start_a, start_b)}
+    frontier = deque([(start_a, start_b)])
+
+    while frontier:
+        subset_a, subset_b = frontier.popleft()
+        enabled_a = _visible_enabled(first, subset_a, hidden_set)
+        enabled_b = _visible_enabled(second, subset_b, hidden_set)
+        if enabled_a != enabled_b:
+            return False
+        for event in enabled_a:
+            next_a = _visible_step(first, subset_a, event, hidden_set)
+            next_b = _visible_step(second, subset_b, event, hidden_set)
+            pair = (next_a, next_b)
+            if pair not in visited:
+                visited.add(pair)
+                frontier.append(pair)
+    return True

@@ -1,0 +1,130 @@
+"""Behavioural properties of transition systems.
+
+Determinism, commutativity and (output) event persistency are exactly the
+properties the paper requires of a binary-encoded transition system for a
+speed-independent circuit implementation to exist (Section 3), and they
+are the properties the insertion sets must preserve (SIP sets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Optional, Set
+
+from repro.ts.transition_system import TransitionSystem
+
+State = Hashable
+Event = Hashable
+
+
+def is_deterministic(ts: TransitionSystem) -> bool:
+    """True iff no state has two outgoing transitions with the same label."""
+    for state in ts.states:
+        seen = set()
+        for event, _target in ts.successors(state):
+            if event in seen:
+                return False
+            seen.add(event)
+    return True
+
+
+def is_commutative(ts: TransitionSystem) -> bool:
+    """True iff diamonds commute.
+
+    Whenever two events can be executed from some state in both orders,
+    both executions must reach the same state.  States where only one of
+    the two orders exists do not violate commutativity.
+    """
+    for state in ts.states:
+        outgoing = ts.successors(state)
+        for i, (event_a, after_a) in enumerate(outgoing):
+            for event_b, after_b in outgoing[i + 1 :]:
+                if event_a == event_b:
+                    continue
+                # a then b
+                ab = ts.successor(after_a, event_b)
+                # b then a
+                ba = ts.successor(after_b, event_a)
+                if ab is not None and ba is not None and ab != ba:
+                    return False
+    return True
+
+
+def is_event_persistent(
+    ts: TransitionSystem,
+    event: Event,
+    subset: Optional[Iterable[State]] = None,
+) -> bool:
+    """True iff ``event`` is persistent in ``subset`` (default: all states).
+
+    Following the paper: ``event`` is persistent in ``S'`` iff for every
+    state ``s1`` in ``S'`` where ``event`` is enabled, firing any *other*
+    event ``b`` enabled in ``s1`` leads to a state where ``event`` is still
+    enabled.
+    """
+    states = set(subset) if subset is not None else None
+    for source, _target in ts.transitions_of(event):
+        if states is not None and source not in states:
+            continue
+        for other_event, after_other in ts.successors(source):
+            if other_event == event:
+                continue
+            if ts.successor(after_other, event) is None:
+                return False
+    return True
+
+
+def persistent_events(
+    ts: TransitionSystem, events: Optional[Iterable[Event]] = None
+) -> Set[Event]:
+    """The subset of ``events`` (default: all) that are persistent in ``ts``."""
+    candidates = list(events) if events is not None else ts.events
+    return {event for event in candidates if is_event_persistent(ts, event)}
+
+
+def is_weakly_connected(ts: TransitionSystem) -> bool:
+    """True iff the underlying undirected graph of the TS is connected."""
+    states = ts.states
+    if not states:
+        return True
+    undirected = {state: set() for state in states}
+    for source, _event, target in ts.transitions():
+        undirected[source].add(target)
+        undirected[target].add(source)
+    start = states[0]
+    visited = {start}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for neighbour in undirected[state]:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append(neighbour)
+    return len(visited) == len(states)
+
+
+def is_subset_connected(ts: TransitionSystem, subset: Iterable[State]) -> bool:
+    """True iff ``subset`` induces a weakly connected subgraph of ``ts``.
+
+    Used by Property P3 ("the intersection of pre-regions must be
+    connected") and by the brick-adjacency notion of the heuristic search.
+    The empty set is considered connected.
+    """
+    subset_set = set(subset)
+    if not subset_set:
+        return True
+    undirected = {state: set() for state in subset_set}
+    for source, _event, target in ts.transitions():
+        if source in subset_set and target in subset_set:
+            undirected[source].add(target)
+            undirected[target].add(source)
+    start = next(iter(subset_set))
+    visited = {start}
+    frontier = deque([start])
+    while frontier:
+        state = frontier.popleft()
+        for neighbour in undirected[state]:
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append(neighbour)
+    return len(visited) == len(subset_set)

@@ -1,0 +1,6 @@
+"""Small shared helpers used across the library."""
+
+from repro.utils.ordered import OrderedSet, stable_sorted
+from repro.utils.timing import Stopwatch
+
+__all__ = ["OrderedSet", "stable_sorted", "Stopwatch"]

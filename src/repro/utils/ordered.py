@@ -1,0 +1,103 @@
+"""Deterministic collection helpers.
+
+The algorithms in this library (region expansion, beam search, greedy
+covering) explore combinatorial spaces whose tie-breaking must be
+deterministic to make results reproducible across runs and platforms.
+Plain ``set`` iteration order depends on hashing of arbitrary objects, so
+the code paths that matter use :class:`OrderedSet` (insertion-ordered set)
+and :func:`stable_sorted` (sorts by ``repr`` when elements are not
+naturally comparable).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+
+class OrderedSet:
+    """A set that remembers insertion order.
+
+    Backed by a ``dict`` (insertion-ordered since Python 3.7).  Supports the
+    small subset of the ``set`` protocol the library needs: membership,
+    iteration, add/discard, union/intersection/difference and comparison.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._data = dict.fromkeys(items)
+
+    # -- basic protocol -------------------------------------------------
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._data
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._data)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._data) == set(other._data)
+        if isinstance(other, (set, frozenset)):
+            return set(self._data) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - OrderedSet is mutable
+        raise TypeError("OrderedSet is unhashable; use frozenset(os) instead")
+
+    # -- mutation --------------------------------------------------------
+    def add(self, item: Hashable) -> None:
+        self._data[item] = None
+
+    def discard(self, item: Hashable) -> None:
+        self._data.pop(item, None)
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self._data[item] = None
+
+    # -- set algebra (returns new OrderedSet, preserves left order) ------
+    def union(self, other: Iterable[Hashable]) -> "OrderedSet":
+        result = OrderedSet(self._data)
+        result.update(other)
+        return result
+
+    def intersection(self, other: Iterable[Hashable]) -> "OrderedSet":
+        other_set = set(other)
+        return OrderedSet(item for item in self._data if item in other_set)
+
+    def difference(self, other: Iterable[Hashable]) -> "OrderedSet":
+        other_set = set(other)
+        return OrderedSet(item for item in self._data if item not in other_set)
+
+    def issubset(self, other: Iterable[Hashable]) -> bool:
+        other_set = set(other)
+        return all(item in other_set for item in self._data)
+
+    def copy(self) -> "OrderedSet":
+        return OrderedSet(self._data)
+
+    def as_frozenset(self) -> frozenset:
+        return frozenset(self._data)
+
+
+def stable_sorted(items: Iterable) -> list:
+    """Sort ``items`` deterministically even when they are not comparable.
+
+    Falls back to sorting by ``(type name, repr)`` when the natural ``<``
+    comparison raises ``TypeError`` (e.g. mixed tuples/strings used as
+    state identifiers after signal insertion).
+    """
+    items = list(items)
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=lambda item: (type(item).__name__, repr(item)))

@@ -1,0 +1,36 @@
+"""Wall-clock measurement helper used by the CLI and the benchmark tables."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A tiny start/stop stopwatch.
+
+    Used to report the "CPU" columns of the reproduced tables.  The paper
+    reports seconds on a SPARCstation 20; we report wall-clock seconds of
+    this Python implementation, so only relative magnitudes are meaningful.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

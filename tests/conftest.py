@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_stg import generators as gen
+from repro.stg.state_graph import build_state_graph
+from repro.ts.transition_system import TransitionSystem
+
+
+@pytest.fixture
+def fig1_ts() -> TransitionSystem:
+    """The transition system of Figure 1(a) of the paper.
+
+    Two concurrent events ``a`` and ``b`` followed by ``c``, repeated twice
+    (the TS is acyclic, eight states, with the diamond structure shown in
+    the figure).
+    """
+    return TransitionSystem.from_triples(
+        [
+            ("s1", "a", "s2"),
+            ("s1", "b", "s3"),
+            ("s2", "b", "s4"),
+            ("s3", "a", "s4"),
+            ("s4", "c", "s5"),
+            ("s5", "a", "s6"),
+            ("s5", "b", "s7"),
+            ("s6", "b", "s8"),
+            ("s7", "a", "s8"),
+        ],
+        initial="s1",
+        name="fig1",
+    )
+
+
+@pytest.fixture
+def vme_sg():
+    """State graph of the VME bus controller (14 states, 1 CSC conflict)."""
+    return build_state_graph(gen.vme_controller())
+
+
+@pytest.fixture
+def toggle_sg():
+    """State graph of the toggle element (6 states, 2 CSC conflicts)."""
+    return build_state_graph(gen.toggle_element())
+
+
+@pytest.fixture
+def sequencer2_sg():
+    """State graph of the 2-output sequencer."""
+    return build_state_graph(gen.sequencer(2))

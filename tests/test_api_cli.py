@@ -1,0 +1,81 @@
+"""Tests for the high-level API and the command-line front end."""
+
+import pytest
+
+from repro import analyze_stg, encode_stg
+from repro.bench_stg import generators as gen
+from repro.cli import main
+from repro.stg import write_g
+
+
+class TestAPI:
+    def test_analyze_reports_conflicts(self):
+        info = analyze_stg(gen.vme_controller())
+        assert info["states"] == 14
+        assert info["csc_pairs"] == 1
+        assert info["consistent"] is True
+
+    def test_encode_vme(self):
+        report = encode_stg(gen.vme_controller(), resynthesize=True)
+        assert report.solved
+        assert report.inserted_signals == ["csc0"]
+        assert report.area_literals and report.area_literals > 0
+        assert report.encoded_stg is not None
+        row = report.table_row()
+        assert row["benchmark"] == "vme"
+        assert row["solved"] is True
+        assert row["area"] == report.area_literals
+
+    def test_encode_without_logic(self):
+        report = encode_stg(gen.vme_controller(), estimate_logic=False)
+        assert report.circuit is None
+        assert report.area_literals is None
+
+    def test_encode_unsolvable_strict_case(self):
+        report = encode_stg(gen.toggle_element())
+        assert not report.solved
+        assert report.circuit is None
+
+
+class TestCLI:
+    def _write(self, tmp_path, stg, name="input.g"):
+        path = tmp_path / name
+        write_g(stg, str(path))
+        return str(path)
+
+    def test_info_command(self, tmp_path, capsys):
+        path = self._write(tmp_path, gen.vme_controller())
+        assert main(["info", path]) == 0
+        output = capsys.readouterr().out
+        assert "csc_pairs" in output
+
+    def test_solve_command_writes_encoded_stg(self, tmp_path, capsys):
+        path = self._write(tmp_path, gen.vme_controller())
+        out_path = str(tmp_path / "encoded.g")
+        code = main(["solve", path, "-o", out_path, "--equations"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "csc0" in output
+        assert "[" in output  # equations printed
+        from repro.stg import read_g_file
+
+        encoded = read_g_file(out_path)
+        assert "csc0" in encoded.internal_signals
+
+    def test_solve_unsolved_returns_nonzero(self, tmp_path):
+        path = self._write(tmp_path, gen.toggle_element())
+        assert main(["solve", path, "--no-logic"]) == 2
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "vme2int" in output
+
+    def test_bench_run(self, capsys):
+        assert main(["bench", "vme2int"]) == 0
+        output = capsys.readouterr().out
+        assert "solved" in output
+
+    def test_bench_relaxed_flag(self, capsys):
+        code = main(["bench", "mod4-counter", "--enlarge-concurrency", "--bricks", "regions"])
+        assert code in (0, 2)

@@ -1,0 +1,113 @@
+"""Tests for the ROBDD engine and symbolic Petri-net reachability."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD, SymbolicReachability, symbolic_state_count
+from repro.bench_stg import generators as gen
+from repro.petri import PetriNet, build_reachability_graph
+from repro.stg import build_state_graph
+
+
+class TestBDD:
+    def test_terminals_and_vars(self):
+        bdd = BDD(3)
+        assert bdd.evaluate(bdd.true, (0, 0, 0)) == 1
+        assert bdd.evaluate(bdd.false, (1, 1, 1)) == 0
+        x0 = bdd.var(0)
+        assert bdd.evaluate(x0, (1, 0, 0)) == 1
+        assert bdd.evaluate(x0, (0, 0, 0)) == 0
+        assert bdd.evaluate(bdd.nvar(1), (0, 0, 0)) == 1
+
+    def test_structural_sharing(self):
+        bdd = BDD(2)
+        first = bdd.apply_and(bdd.var(0), bdd.var(1))
+        second = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert first == second
+
+    def test_boolean_operations_exhaustive(self):
+        bdd = BDD(3)
+        a, b, c = bdd.var(0), bdd.var(1), bdd.var(2)
+        expr = bdd.apply_or(bdd.apply_and(a, bdd.apply_not(b)), bdd.apply_xor(b, c))
+        for assignment in itertools.product((0, 1), repeat=3):
+            expected = (assignment[0] and not assignment[1]) or (
+                assignment[1] != assignment[2]
+            )
+            assert bdd.evaluate(expr, assignment) == int(expected)
+
+    def test_ite_out_of_range_var(self):
+        bdd = BDD(1)
+        with pytest.raises(IndexError):
+            bdd.var(1)
+
+    def test_cube(self):
+        bdd = BDD(3)
+        cube = bdd.cube({0: 1, 2: 0})
+        assert bdd.evaluate(cube, (1, 0, 0)) == 1
+        assert bdd.evaluate(cube, (1, 1, 0)) == 1
+        assert bdd.evaluate(cube, (0, 0, 0)) == 0
+
+    def test_restrict(self):
+        bdd = BDD(2)
+        conj = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.restrict(conj, 0, 1) == bdd.var(1)
+        assert bdd.restrict(conj, 0, 0) == bdd.false
+
+    def test_exists(self):
+        bdd = BDD(2)
+        conj = bdd.apply_and(bdd.var(0), bdd.var(1))
+        assert bdd.exists(conj, [0]) == bdd.var(1)
+        assert bdd.exists(conj, [0, 1]) == bdd.true
+
+    def test_count_solutions(self):
+        bdd = BDD(3)
+        assert bdd.count_solutions(bdd.true) == 8
+        assert bdd.count_solutions(bdd.false) == 0
+        assert bdd.count_solutions(bdd.var(0)) == 4
+        conj = bdd.apply_and(bdd.var(0), bdd.var(2))
+        assert bdd.count_solutions(conj) == 2
+
+    def test_satisfying_assignments(self):
+        bdd = BDD(2)
+        disj = bdd.apply_or(bdd.var(0), bdd.var(1))
+        assignments = set(bdd.satisfying_assignments(disj))
+        assert assignments == {(0, 1), (1, 0), (1, 1)}
+
+
+class TestSymbolicReachability:
+    def _net(self, stg):
+        return stg.net
+
+    @pytest.mark.parametrize("branches", [2, 3, 4, 6])
+    def test_matches_explicit_count_on_parallel_toggles(self, branches):
+        stg = gen.parallel_toggles(branches)
+        explicit = build_reachability_graph(stg.net).num_markings
+        assert symbolic_state_count(stg.net) == explicit
+
+    def test_matches_explicit_count_on_vme(self):
+        stg = gen.vme_controller()
+        explicit = build_reachability_graph(stg.net).num_markings
+        assert symbolic_state_count(stg.net) == explicit
+
+    def test_large_product_state_space(self):
+        # 6 independent toggles: 6^6 = 46656 markings, far beyond what the
+        # explicit tests enumerate, but exactly computable symbolically.
+        stg = gen.independent_toggles(6)
+        assert symbolic_state_count(stg.net) == 6 ** 6
+
+    def test_iteration_bound(self):
+        stg = gen.parallel_toggles(3)
+        engine = SymbolicReachability(stg.net)
+        engine.explore(max_iterations=1)
+        partial = engine.bdd.count_solutions(engine.reached)
+        full = symbolic_state_count(stg.net)
+        assert partial <= full
+
+    def test_weighted_arcs_rejected(self):
+        net = PetriNet()
+        net.add_place("p", 1)
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        with pytest.raises(ValueError):
+            SymbolicReachability(net)

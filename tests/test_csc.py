@@ -1,0 +1,58 @@
+"""Tests for USC/CSC conflict detection (Section 4)."""
+
+from repro.bench_stg import generators as gen
+from repro.core import conflicting_signals, csc_conflicts, has_csc, has_usc, usc_conflicts
+from repro.core.csc import csc_summary
+from repro.stg import build_state_graph
+
+
+class TestCSCDetection:
+    def test_vme_has_one_conflict(self, vme_sg):
+        conflicts = csc_conflicts(vme_sg)
+        assert len(conflicts) == 1
+        assert not has_csc(vme_sg)
+        assert not has_usc(vme_sg)
+
+    def test_vme_conflict_involves_noninput_signal(self, vme_sg):
+        conflict = csc_conflicts(vme_sg)[0]
+        signals = conflicting_signals(vme_sg, conflict.first, conflict.second)
+        assert signals  # at least one non-input signal differs in next value
+        assert signals <= set(vme_sg.non_input_signals)
+
+    def test_toggle_has_two_conflicts(self, toggle_sg):
+        assert len(csc_conflicts(toggle_sg)) == 2
+
+    def test_usc_pairs_superset_of_csc_pairs(self, toggle_sg):
+        usc = usc_conflicts(toggle_sg)
+        csc = csc_conflicts(toggle_sg)
+        assert len(usc) >= len(csc)
+        csc_pairs = {frozenset((c.first, c.second)) for c in csc}
+        usc_pairs = {frozenset(p) for p in usc}
+        assert csc_pairs <= usc_pairs
+
+    def test_wire_chain_satisfies_csc(self):
+        sg = build_state_graph(gen.handshake_wire_chain(3))
+        assert has_csc(sg)
+        assert has_usc(sg)
+        assert csc_conflicts(sg) == []
+
+    def test_same_code_same_behaviour_is_not_a_conflict(self):
+        """The paper's Figure 3 remark: (00*, 0*0*) is not a conflict when
+        the same non-input transitions are enabled — here, USC violations of
+        the duplicator's (1,1,...) states are not CSC conflicts."""
+        sg = build_state_graph(gen.duplicator_element())
+        usc = usc_conflicts(sg)
+        csc = csc_conflicts(sg)
+        assert len(usc) > len(csc)
+
+    def test_summary_fields(self, vme_sg):
+        summary = csc_summary(vme_sg)
+        assert summary["states"] == 14
+        assert summary["csc_pairs"] == 1
+        assert summary["states_in_conflict"] == 2
+
+    def test_conflict_pair_and_code(self, vme_sg):
+        conflict = csc_conflicts(vme_sg)[0]
+        assert vme_sg.code(conflict.first) == conflict.code
+        assert vme_sg.code(conflict.second) == conflict.code
+        assert conflict.pair() == (conflict.first, conflict.second)

@@ -1,0 +1,153 @@
+"""Reproduction of the paper's running examples (Figures 1, 2 and 3)."""
+
+import pytest
+
+from repro.core import csc_conflicts, has_csc, solve_csc
+from repro.core.solver import SolverSettings
+from repro.core.search import SearchSettings
+from repro.petri.synthesis import reachability_isomorphic_to, synthesize_net
+from repro.stg import SignalEdge, SignalType, StateGraph
+from repro.ts import TransitionSystem
+
+
+class TestFigure1:
+    """TS -> PN -> reachability graph round trip (Figure 1)."""
+
+    def test_synthesised_net_reachability_is_isomorphic(self, fig1_ts):
+        result = synthesize_net(fig1_ts)
+        assert reachability_isomorphic_to(fig1_ts, result)
+
+    def test_synthesised_net_is_safe_and_small(self, fig1_ts):
+        result = synthesize_net(fig1_ts)
+        assert result.net.num_transitions == len(fig1_ts.events)
+        assert result.net.num_places >= 2
+        from repro.petri import is_safe
+
+        assert is_safe(result.net)
+
+    def test_places_correspond_to_regions(self, fig1_ts):
+        from repro.core import is_region
+
+        result = synthesize_net(fig1_ts)
+        for region in result.place_regions.values():
+            assert is_region(fig1_ts, region)
+
+
+def figure3_state_graph() -> StateGraph:
+    """A Figure-3 style example: an input ``a`` and two output signals.
+
+    The environment raises/lowers ``a`` twice per cycle; the circuit
+    answers the first handshake with ``b`` and the second with ``c``.
+    States ``n1`` and ``n5`` carry the same code ``1 0 0`` but enable
+    different output transitions (``b+`` vs ``c+``) — exactly the kind of
+    CSC conflict pair the figure illustrates, with the partition borders
+    becoming the excitation regions of the new signal.
+    """
+    a_plus, a_minus = SignalEdge.rise("a"), SignalEdge.fall("a")
+    b_plus, b_minus = SignalEdge.rise("b"), SignalEdge.fall("b")
+    c_plus, c_minus = SignalEdge.rise("c"), SignalEdge.fall("c")
+    ts = TransitionSystem.from_triples(
+        [
+            ("n0", a_plus, "n1"),
+            ("n1", b_plus, "n2"),
+            ("n2", a_minus, "n3"),
+            ("n3", b_minus, "n4"),
+            ("n4", a_plus, "n5"),
+            ("n5", c_plus, "n6"),
+            ("n6", a_minus, "n7"),
+            ("n7", c_minus, "n0"),
+        ],
+        initial="n0",
+        name="fig3",
+    )
+    encoding = {
+        "n0": (0, 0, 0),
+        "n1": (1, 0, 0),
+        "n2": (1, 1, 0),
+        "n3": (0, 1, 0),
+        "n4": (0, 0, 0),
+        "n5": (1, 0, 0),
+        "n6": (1, 0, 1),
+        "n7": (0, 0, 1),
+    }
+    return StateGraph(
+        ts=ts,
+        signals=["a", "b", "c"],
+        signal_types={
+            "a": SignalType.INPUT,
+            "b": SignalType.OUTPUT,
+            "c": SignalType.OUTPUT,
+        },
+        encoding=encoding,
+        name="fig3",
+    )
+
+
+class TestFigure3:
+    """CSC conflicts and iterative insertion on the Figure-3 style example."""
+
+    def test_conflict_pairs_detected(self):
+        sg = figure3_state_graph()
+        assert sg.is_consistent()
+        conflicts = csc_conflicts(sg)
+        # Every code is shared by two states; conflicts arise where the
+        # non-input behaviour differs.
+        assert len(conflicts) >= 1
+        assert not has_csc(sg)
+
+    def test_insertion_resolves_conflicts_iteratively(self):
+        sg = figure3_state_graph()
+        settings = SolverSettings(search=SearchSettings(allow_input_delay=True))
+        result = solve_csc(sg, settings)
+        assert result.solved
+        assert result.num_inserted >= 1
+        assert has_csc(result.final_sg)
+
+    def test_secondary_conflicts_are_possible(self):
+        """The paper notes that border states may still conflict after the
+        first insertion ("secondary CSC problems"), requiring iteration —
+        check the machinery tolerates multi-round solving."""
+        sg = figure3_state_graph()
+        settings = SolverSettings(search=SearchSettings(allow_input_delay=True))
+        result = solve_csc(sg, settings)
+        # Either one perfect insertion or several rounds; both are fine,
+        # but the records must show monotone progress.
+        previous = len(csc_conflicts(sg))
+        for record in result.records:
+            assert record.conflicts_after < previous
+            previous = record.conflicts_after
+
+
+class TestFigure2Scheme:
+    """The three insertion cases of Figure 2: entrance, inside, exit."""
+
+    def test_transitions_routed_according_to_scheme(self, vme_sg):
+        from repro.core import compute_bricks, insert_signal, ipartition_from_block
+
+        brick = max(compute_bricks(vme_sg.ts), key=len)
+        partition = ipartition_from_block(vme_sg.ts, brick)
+        if not partition.splus or not partition.sminus:
+            pytest.skip("degenerate partition")
+        new_sg = insert_signal(vme_sg, partition, "x")
+        rise = SignalEdge.rise("x")
+        # Entrance: transitions entering ER(x+) must land on the pre-copy
+        # (x = 0); exit transitions must leave from the post-copy (x = 1).
+        for source, edge, target in new_sg.ts.transitions():
+            original_target, x_value = target
+            if original_target in partition.splus and source[0] not in partition.splus:
+                if edge != rise:
+                    assert x_value == 0
+        # Inside ER(x+), original events are concurrent with x: they appear
+        # at both values of x somewhere in the expanded graph.
+        inside_events = {
+            edge
+            for source, edge, target in vme_sg.ts.transitions()
+            if source in partition.splus and target in partition.splus
+        }
+        for edge in inside_events:
+            values = {
+                source[1]
+                for source, e, _t in new_sg.ts.transitions()
+                if e == edge and source[0] in partition.splus
+            }
+            assert values  # present at least once after reachability restriction

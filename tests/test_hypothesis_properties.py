@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.core.regions import crossing, is_region
+from repro.logic.cubes import Cube
+from repro.logic.minimize import minimize_cover, verify_cover
+from repro.stg.signals import FALL, RISE, SignalEdge
+from repro.ts import TransitionSystem, is_deterministic
+from repro.utils.ordered import OrderedSet
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_transition_systems(draw):
+    """Random deterministic transition systems with <= 8 states."""
+    num_states = draw(st.integers(min_value=2, max_value=8))
+    num_events = draw(st.integers(min_value=1, max_value=4))
+    states = [f"s{i}" for i in range(num_states)]
+    events = [chr(ord("a") + i) for i in range(num_events)]
+    ts = TransitionSystem("random")
+    for state in states:
+        ts.add_state(state)
+    ts.set_initial(states[0])
+    # deterministic: at most one target per (state, event)
+    for state in states:
+        for event in events:
+            if draw(st.booleans()):
+                target = draw(st.sampled_from(states))
+                ts.add_transition(state, event, target)
+    return ts
+
+
+@st.composite
+def minterm_partition(draw):
+    width = draw(st.integers(min_value=1, max_value=5))
+    all_minterms = []
+    for value in range(2 ** width):
+        all_minterms.append(tuple((value >> i) & 1 for i in range(width)))
+    labels = draw(
+        st.lists(st.sampled_from(["on", "off", "dc"]), min_size=len(all_minterms), max_size=len(all_minterms))
+    )
+    on = [m for m, lab in zip(all_minterms, labels) if lab == "on"]
+    off = [m for m, lab in zip(all_minterms, labels) if lab == "off"]
+    return width, on, off
+
+
+# ----------------------------------------------------------------------
+# region properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(small_transition_systems(), st.sets(st.integers(min_value=0, max_value=7)))
+def test_complement_of_region_is_region(ts, index_subset):
+    states = ts.states
+    subset = {states[i] for i in index_subset if i < len(states)}
+    if is_region(ts, subset):
+        complement = set(states) - subset
+        assert is_region(ts, complement)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_transition_systems())
+def test_trivial_sets_are_regions_and_ts_deterministic(ts):
+    assert is_region(ts, set())
+    assert is_region(ts, set(ts.states))
+    assert is_deterministic(ts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_transition_systems(), st.sets(st.integers(min_value=0, max_value=7)))
+def test_crossing_counts_partition_event_transitions(ts, index_subset):
+    states = ts.states
+    subset = {states[i] for i in index_subset if i < len(states)}
+    for event in ts.events:
+        relation = crossing(ts, subset, event)
+        total = relation.enter + relation.exit + relation.inside + relation.outside
+        assert total == len(ts.transitions_of(event))
+
+
+# ----------------------------------------------------------------------
+# logic minimiser properties
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(minterm_partition())
+def test_minimized_cover_is_correct(partition):
+    width, on, off = partition
+    cover = minimize_cover(on, off, width)
+    assert verify_cover(cover, on, off) == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_cube_expansion_monotone(width, data):
+    minterm = tuple(data.draw(st.integers(min_value=0, max_value=1)) for _ in range(width))
+    cube = Cube.from_minterm(minterm)
+    position = data.draw(st.integers(min_value=0, max_value=width - 1))
+    expanded = cube.without_literal(position)
+    assert expanded.contains_cube(cube)
+    assert expanded.literal_count() <= cube.literal_count()
+
+
+# ----------------------------------------------------------------------
+# BDD properties
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.data())
+def test_bdd_matches_truth_table(num_vars, data):
+    bdd = BDD(num_vars)
+    truth = [data.draw(st.booleans()) for _ in range(2 ** num_vars)]
+    function = bdd.false
+    for value, bit in enumerate(truth):
+        if bit:
+            assignment = {i: (value >> i) & 1 for i in range(num_vars)}
+            function = bdd.apply_or(function, bdd.cube(assignment))
+    for value, bit in enumerate(truth):
+        assignment = tuple((value >> i) & 1 for i in range(num_vars))
+        assert bdd.evaluate(function, assignment) == int(bit)
+    assert bdd.count_solutions(function) == sum(truth)
+
+
+# ----------------------------------------------------------------------
+# misc data structures
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-5, max_value=5)))
+def test_ordered_set_behaves_like_set(items):
+    ordered = OrderedSet(items)
+    assert set(ordered) == set(items)
+    assert len(ordered) == len(set(items))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=6),
+       st.sampled_from([RISE, FALL]),
+       st.integers(min_value=0, max_value=9))
+def test_signal_edge_parse_format_roundtrip(signal, direction, index):
+    edge = SignalEdge(signal, direction, index)
+    assert SignalEdge.parse(str(edge)) == edge

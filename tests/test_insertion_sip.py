@@ -1,0 +1,147 @@
+"""Tests for event insertion (Figure 2) and SIP checking (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    check_insertion,
+    csc_conflicts,
+    delayed_events,
+    insert_signal,
+    ipartition_from_block,
+    is_sip_excitation_region,
+    is_sip_preregion_intersection,
+    is_sip_region,
+    minimal_preregions,
+)
+from repro.core.insertion import IllegalInsertionError
+from repro.core.ipartition import IPartition
+from repro.stg import SignalEdge, SignalType
+from repro.ts import language_equivalent
+
+
+class TestInsertSignal:
+    def test_vme_insertion_basic_properties(self, vme_sg):
+        """Insert a signal on a hand-chosen block and check the Figure-2
+        scheme: states split, codes extended, behaviour preserved."""
+        conflicts = csc_conflicts(vme_sg)
+        conflict = conflicts[0]
+        # Use any block that firmly separates the conflicting pair.
+        block = None
+        from repro.core import compute_bricks
+
+        for brick in compute_bricks(vme_sg.ts):
+            partition = ipartition_from_block(vme_sg.ts, brick)
+            if partition.splus and partition.sminus and partition.separates(
+                conflict.first, conflict.second
+            ):
+                block = brick
+                break
+        if block is None:
+            pytest.skip("no single brick separates the VME conflict")
+        partition = ipartition_from_block(vme_sg.ts, block)
+        new_sg = insert_signal(vme_sg, partition, "x")
+        assert "x" in new_sg.signals
+        assert new_sg.num_states == vme_sg.num_states + len(partition.splus) + len(
+            partition.sminus
+        ) or new_sg.num_states <= vme_sg.num_states + len(partition.splus) + len(partition.sminus)
+        assert new_sg.is_consistent()
+        assert new_sg.is_deterministic()
+
+    def test_insertion_adds_exactly_one_signal_column(self, toggle_sg):
+        partition = ipartition_from_block(toggle_sg.ts, set(list(toggle_sg.states)[:3]))
+        if not partition.splus or not partition.sminus:
+            pytest.skip("degenerate partition for this ordering")
+        new_sg = insert_signal(toggle_sg, partition, "x")
+        for state in new_sg.states:
+            assert len(new_sg.code(state)) == len(toggle_sg.signals) + 1
+
+    def test_duplicate_signal_name_rejected(self, vme_sg):
+        partition = ipartition_from_block(vme_sg.ts, {vme_sg.initial_state})
+        with pytest.raises(ValueError):
+            insert_signal(vme_sg, partition, "dsr")
+
+    def test_uncovered_partition_rejected(self, vme_sg):
+        partition = IPartition(
+            s0=frozenset({vme_sg.initial_state}),
+            splus=frozenset(),
+            s1=frozenset(),
+            sminus=frozenset(),
+        )
+        with pytest.raises(IllegalInsertionError):
+            insert_signal(vme_sg, partition, "x")
+
+    def test_trace_equivalence_modulo_inserted_signal(self, sequencer2_sg):
+        from repro.core import SearchSettings, find_insertion_plan
+
+        plan = find_insertion_plan(sequencer2_sg, "x", SearchSettings())
+        assert plan is not None
+        hidden = {SignalEdge.rise("x"), SignalEdge.fall("x")}
+        assert language_equivalent(sequencer2_sg.ts, plan.new_sg.ts, hidden=hidden)
+
+
+class TestSIPProperties:
+    def test_p1_regions_are_sip(self, fig1_ts):
+        assert is_sip_region(fig1_ts, {"s2", "s4", "s6", "s8"})
+        assert not is_sip_region(fig1_ts, {"s2", "s6"})
+
+    def test_p2_excitation_regions(self, fig1_ts):
+        from repro.core import excitation_regions
+
+        for er in excitation_regions(fig1_ts, "a"):
+            assert is_sip_excitation_region(fig1_ts, er, "a")
+        assert not is_sip_excitation_region(fig1_ts, {"s1", "s5"}, "a")
+
+    def test_p3_preregion_intersections(self, fig1_ts):
+        pre = minimal_preregions(fig1_ts, "c")
+        assert pre
+        intersection = frozenset(pre[0])
+        for region in pre[1:]:
+            intersection &= region
+        assert is_sip_preregion_intersection(fig1_ts, intersection, pre)
+        assert not is_sip_preregion_intersection(fig1_ts, {"s1"}, pre)
+
+
+class TestCheckInsertion:
+    def test_valid_insertion_accepted(self, vme_sg):
+        from repro.core import SearchSettings, find_insertion_plan
+
+        plan = find_insertion_plan(vme_sg, "x", SearchSettings())
+        assert plan is not None
+        assert plan.check.ok
+        assert plan.check.new_sg is not None
+
+    def test_degenerate_partition_rejected(self, vme_sg):
+        partition = IPartition(
+            s0=frozenset(vme_sg.states),
+            splus=frozenset(),
+            s1=frozenset(),
+            sminus=frozenset(),
+        )
+        check = check_insertion(vme_sg, partition)
+        assert not check.ok
+        assert any("never switch" in reason for reason in check.reasons)
+
+    def test_input_delay_detected_and_relaxable(self, toggle_sg):
+        """In the toggle, a minimal border on the a=1 block delays the input
+        a- — rejected in strict mode, accepted when explicitly allowed."""
+        # Block = {states with a=1 and b=0 or 1 before the first a-}.
+        states = sorted(toggle_sg.states, key=lambda s: repr(s))
+        block = {s for s in toggle_sg.states if toggle_sg.value(s, "a") == 1 and toggle_sg.value(s, "b") == 0}
+        block |= {s for s in toggle_sg.states if toggle_sg.value(s, "b") == 1}
+        partition = ipartition_from_block(toggle_sg.ts, block)
+        if not partition.splus or not partition.sminus:
+            pytest.skip("ordering produced a degenerate partition")
+        delayed = delayed_events(toggle_sg.ts, partition)
+        if not any(toggle_sg.is_input_edge(e) for e in delayed):
+            pytest.skip("this block does not delay an input")
+        strict = check_insertion(toggle_sg, partition, allow_input_delay=False)
+        assert not strict.ok
+        assert any("delayed" in reason for reason in strict.reasons)
+
+    def test_relaxed_mode_solves_toggle(self, toggle_sg):
+        from repro.core import SearchSettings, SolverSettings, solve_csc
+
+        settings = SolverSettings(search=SearchSettings(allow_input_delay=True))
+        result = solve_csc(toggle_sg, settings)
+        assert result.solved
+        assert result.num_inserted >= 1

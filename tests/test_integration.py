@@ -1,0 +1,70 @@
+"""End-to-end integration tests: STG text in, implementable circuit out."""
+
+import pytest
+
+from repro import encode_stg, parse_g, stg_to_g_text
+from repro.bench_stg import generators as gen
+from repro.bench_stg.library import get_case
+from repro.core import csc_conflicts, has_csc
+from repro.logic import estimate_circuit
+from repro.stg import SignalEdge, build_state_graph
+from repro.ts import language_equivalent
+
+
+class TestEndToEnd:
+    def test_full_flow_on_vme_from_g_text(self):
+        """Parse -> elaborate -> solve -> re-synthesise -> re-parse -> logic."""
+        stg = parse_g(stg_to_g_text(gen.vme_controller()))
+        report = encode_stg(stg, resynthesize=True)
+        assert report.solved
+        encoded = report.encoded_stg
+        assert encoded is not None
+        # The encoded STG, re-elaborated, satisfies CSC and yields logic.
+        sg = build_state_graph(encoded)
+        assert has_csc(sg)
+        estimate = estimate_circuit(sg)
+        assert estimate.total_literals > 0
+
+    def test_behaviour_preserved_modulo_state_signals(self):
+        report = encode_stg(gen.mixed_controller(1, 2))
+        assert report.solved
+        hidden = set()
+        for signal in report.inserted_signals:
+            hidden.add(SignalEdge.rise(signal))
+            hidden.add(SignalEdge.fall(signal))
+        assert language_equivalent(
+            report.state_graph.ts, report.result.final_sg.ts, hidden=hidden
+        )
+
+    def test_inserted_signals_are_internal_and_csc_named(self):
+        report = encode_stg(gen.sequencer(2))
+        assert report.solved
+        final = report.result.final_sg
+        for signal in report.inserted_signals:
+            assert signal.startswith("csc")
+            assert final.signal_types[signal].is_noninput
+
+    @pytest.mark.parametrize("name", ["vme2int", "nak-pa", "sbuf-read-ctl", "combuf2"])
+    def test_table2_strict_cases_end_to_end(self, name):
+        case = get_case(name)
+        report = encode_stg(case.build(), settings=case.solver_settings())
+        assert report.solved, f"{name} should be solvable"
+        assert report.area_literals > 0
+
+    @pytest.mark.parametrize("name", ["mod4-counter", "par4"])
+    def test_table2_relaxed_cases_end_to_end(self, name):
+        case = get_case(name)
+        report = encode_stg(case.build(), settings=case.solver_settings())
+        assert report.solved, f"{name} should be solvable in relaxed mode"
+
+    def test_solver_is_deterministic(self):
+        first = encode_stg(gen.vme_controller())
+        second = encode_stg(gen.vme_controller())
+        assert first.inserted_signals == second.inserted_signals
+        assert first.area_literals == second.area_literals
+        assert first.result.final_sg.num_states == second.result.final_sg.num_states
+
+    def test_remaining_conflicts_reported_when_partial(self):
+        report = encode_stg(gen.toggle_element())
+        assert not report.solved
+        assert report.result.conflicts_remaining == len(csc_conflicts(report.result.final_sg))

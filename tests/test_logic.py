@@ -1,0 +1,158 @@
+"""Tests for cubes, the two-level minimiser and next-state extraction."""
+
+import itertools
+
+import pytest
+
+from repro.core import solve_csc
+from repro.logic import (
+    CSCViolationError,
+    Cube,
+    estimate_circuit,
+    extract_next_state_function,
+    minimize_cover,
+    trigger_signal_count,
+)
+from repro.logic.cubes import Cover
+from repro.logic.minimize import verify_cover
+from repro.logic.nextstate import extract_all_functions
+
+
+class TestCube:
+    def test_from_minterm_and_string(self):
+        assert Cube.from_minterm((1, 0, 1)).to_string() == "101"
+        assert Cube.from_string("1-0").literal_count() == 2
+        assert Cube.full(3).literal_count() == 0
+
+    def test_contains_minterm(self):
+        cube = Cube.from_string("1-0")
+        assert cube.contains_minterm((1, 0, 0))
+        assert cube.contains_minterm((1, 1, 0))
+        assert not cube.contains_minterm((0, 1, 0))
+
+    def test_contains_cube(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains_cube(small)
+        assert not small.contains_cube(big)
+
+    def test_intersects(self):
+        assert Cube.from_string("1-").intersects(Cube.from_string("-0"))
+        assert not Cube.from_string("1-").intersects(Cube.from_string("0-"))
+
+    def test_without_literal(self):
+        cube = Cube.from_string("10")
+        assert cube.without_literal(1).to_string() == "1-"
+
+    def test_expression(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_expression(["x", "y", "z"]) == "x & !z"
+        assert Cube.full(2).to_expression(["x", "y"]) == "1"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Cube.from_minterm((2,))
+        with pytest.raises(ValueError):
+            Cube.from_string("1x")
+        with pytest.raises(ValueError):
+            Cube(1, care=2, value=0)
+
+    def test_cover_literal_count_and_expression(self):
+        cover = Cover(2, [Cube.from_string("1-"), Cube.from_string("01")])
+        assert cover.literal_count() == 3
+        assert "|" in cover.to_expression(["a", "b"])
+
+
+class TestMinimize:
+    def test_single_variable_function(self):
+        on = [(1, 0), (1, 1)]
+        off = [(0, 0), (0, 1)]
+        cover = minimize_cover(on, off, width=2)
+        assert verify_cover(cover, on, off) == []
+        assert cover.literal_count() == 1  # just "a"
+
+    def test_dont_cares_exploited(self):
+        # f = 1 on 11, 0 on 00, everything else don't care: one literal is enough.
+        cover = minimize_cover([(1, 1)], [(0, 0)], width=2)
+        assert verify_cover(cover, [(1, 1)], [(0, 0)]) == []
+        assert cover.literal_count() == 1
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_cover([(1, 0)], [(1, 0)], width=2)
+
+    def test_empty_on_set(self):
+        cover = minimize_cover([], [(0, 0)], width=2)
+        assert len(cover) == 0
+        assert not cover.contains_minterm((0, 0))
+
+    def test_xor_like_function_needs_two_cubes(self):
+        on = [(0, 1), (1, 0)]
+        off = [(0, 0), (1, 1)]
+        cover = minimize_cover(on, off, width=2)
+        assert verify_cover(cover, on, off) == []
+        assert len(cover) == 2
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_random_like_exhaustive_correctness(self, width):
+        # Deterministic pseudo-random partition of the cube into ON/OFF/DC.
+        on, off = [], []
+        for i, minterm in enumerate(itertools.product((0, 1), repeat=width)):
+            bucket = (i * 7 + 3) % 3
+            if bucket == 0:
+                on.append(minterm)
+            elif bucket == 1:
+                off.append(minterm)
+        cover = minimize_cover(on, off, width)
+        assert verify_cover(cover, on, off) == []
+
+
+class TestNextState:
+    def test_requires_csc(self, vme_sg):
+        with pytest.raises(CSCViolationError):
+            extract_next_state_function(vme_sg, "d")
+
+    def test_input_signal_rejected(self, vme_sg):
+        with pytest.raises(ValueError):
+            extract_next_state_function(vme_sg, "dsr")
+
+    def test_unknown_signal(self, vme_sg):
+        with pytest.raises(KeyError):
+            extract_next_state_function(vme_sg, "ghost")
+
+    def test_functions_after_solving(self, vme_sg):
+        result = solve_csc(vme_sg)
+        functions = extract_all_functions(result.final_sg)
+        assert set(functions) == set(result.final_sg.non_input_signals)
+        for function in functions.values():
+            assert verify_cover(function.cover, function.on_set, function.off_set) == []
+            assert function.literal_count > 0
+
+    def test_function_matches_next_value_semantics(self, vme_sg):
+        result = solve_csc(vme_sg)
+        sg = result.final_sg
+        function = extract_next_state_function(sg, "lds")
+        for state in sg.states:
+            assert function.evaluate(sg.code(state)) == sg.next_value(state, "lds")
+
+
+class TestCircuitEstimate:
+    def test_estimate_fields(self, vme_sg):
+        result = solve_csc(vme_sg)
+        estimate = estimate_circuit(result.final_sg)
+        assert estimate.total_literals > 0
+        assert estimate.total_cubes > 0
+        assert estimate.total_triggers > 0
+        row = estimate.table_row()
+        assert row["literals"] == estimate.total_literals
+        assert row["signals"] == len(result.final_sg.non_input_signals)
+
+    def test_trigger_signal_count(self, vme_sg):
+        assert trigger_signal_count(vme_sg, "lds") >= 1
+
+    def test_support_is_subset_of_signals(self, vme_sg):
+        result = solve_csc(vme_sg)
+        estimate = estimate_circuit(result.final_sg)
+        for implementation in estimate.implementations.values():
+            assert implementation.support <= set(result.final_sg.signals)
+            assert "&" in implementation.expression() or "(" in implementation.expression()

@@ -1,0 +1,139 @@
+"""Tests for state-graph elaboration, encoding inference and consistency."""
+
+import pytest
+
+from repro.bench_stg import generators as gen
+from repro.stg import (
+    STG,
+    InconsistentSTGError,
+    SignalEdge,
+    build_state_graph,
+    infer_encoding,
+)
+from repro.ts import TransitionSystem
+
+
+class TestBuildStateGraph:
+    def test_vme_size_and_codes(self, vme_sg):
+        assert vme_sg.num_states == 14
+        assert vme_sg.signals == ["dsr", "ldtack", "lds", "d", "dtack"]
+        assert vme_sg.code(vme_sg.initial_state) == (0, 0, 0, 0, 0)
+
+    def test_consistency_and_speed_independence(self, vme_sg):
+        report = vme_sg.speed_independence_report()
+        assert report == {
+            "deterministic": True,
+            "commutative": True,
+            "output_persistent": True,
+            "consistent": True,
+        }
+
+    def test_enabled_edges(self, vme_sg):
+        enabled = vme_sg.enabled_edges(vme_sg.initial_state)
+        assert SignalEdge.rise("dsr") in enabled
+
+    def test_next_value_toggles_when_excited(self, vme_sg):
+        state = vme_sg.initial_state
+        assert vme_sg.value(state, "dsr") == 0
+        assert vme_sg.next_value(state, "dsr") == 1  # dsr+ is enabled
+        assert vme_sg.next_value(state, "d") == 0  # d is stable at 0
+
+    def test_code_str_marks_excited_signals(self, vme_sg):
+        text = vme_sg.code_str(vme_sg.initial_state)
+        assert "*" in text
+
+    def test_inconsistent_stg_rejected(self):
+        stg = STG("bad")
+        stg.add_input("a")
+        stg.add_output("b")
+        # b rises twice in a row: not consistent.
+        stg.connect("a+", "b+/1")
+        stg.connect("b+/1", "b+/2")
+        stg.connect("b+/2", "a-")
+        stg.connect("a-", "a+")
+        stg.set_marking([("a-", "a+")])
+        with pytest.raises(InconsistentSTGError):
+            build_state_graph(stg)
+
+    def test_unsafe_stg_rejected(self):
+        stg = STG("unsafe")
+        stg.add_input("a")
+        stg.add_output("b")
+        stg.add_place("p", tokens=1)
+        stg.add_place("q", tokens=1)
+        stg.add_transition("a+")
+        stg.add_transition("b+")
+        stg.net.add_arc("p", "a+")
+        stg.net.add_arc("a+", "q")
+        stg.net.add_arc("q", "b+")
+        with pytest.raises(InconsistentSTGError):
+            build_state_graph(stg)
+
+    def test_dummy_transitions_not_supported(self):
+        stg = STG("d")
+        stg.add_input("a")
+        stg.add_dummy_transition("eps")
+        with pytest.raises(NotImplementedError):
+            build_state_graph(stg)
+
+    def test_max_states_bound(self):
+        from repro.petri.reachability import StateSpaceLimitExceeded
+
+        with pytest.raises(StateSpaceLimitExceeded):
+            build_state_graph(gen.parallel_toggles(6), max_states=10)
+
+    def test_restrict_and_copy(self, vme_sg):
+        clone = vme_sg.copy()
+        assert clone.num_states == vme_sg.num_states
+        keep = set(list(vme_sg.states)[:5])
+        sub = vme_sg.restrict(keep)
+        assert sub.num_states == 5
+
+
+class TestInferEncoding:
+    def test_infers_consistent_values(self):
+        ts = TransitionSystem.from_triples(
+            [
+                ("m0", SignalEdge.rise("a"), "m1"),
+                ("m1", SignalEdge.rise("b"), "m2"),
+                ("m2", SignalEdge.fall("a"), "m3"),
+                ("m3", SignalEdge.fall("b"), "m0"),
+            ],
+            initial="m0",
+        )
+        encoding = infer_encoding(ts, ["a", "b"])
+        assert encoding["m0"] == (0, 0)
+        assert encoding["m2"] == (1, 1)
+
+    def test_conflicting_constraints_detected(self):
+        ts = TransitionSystem.from_triples(
+            [
+                ("m0", SignalEdge.rise("a"), "m1"),
+                ("m1", SignalEdge.rise("a"), "m2"),
+            ],
+            initial="m0",
+        )
+        with pytest.raises(InconsistentSTGError):
+            infer_encoding(ts, ["a"])
+
+    def test_unconstrained_signal_defaults(self):
+        ts = TransitionSystem.from_triples(
+            [("m0", SignalEdge.rise("a"), "m1")], initial="m0"
+        )
+        encoding = infer_encoding(ts, ["a", "idle"], initial_values={"idle": 1})
+        assert encoding["m0"] == (0, 1)
+        assert encoding["m1"] == (1, 1)
+
+    def test_declared_initial_value_contradiction(self):
+        ts = TransitionSystem.from_triples(
+            [("m0", SignalEdge.rise("a"), "m1")], initial="m0"
+        )
+        with pytest.raises(InconsistentSTGError):
+            infer_encoding(ts, ["a"], initial_values={"a": 1})
+
+    def test_consistency_violation_listing(self, vme_sg):
+        assert vme_sg.consistency_violations() == []
+        # Corrupt one code and check it is reported.
+        state = next(iter(vme_sg.states))
+        vme_sg.encoding[state] = tuple(1 - v for v in vme_sg.encoding[state])
+        assert vme_sg.consistency_violations()

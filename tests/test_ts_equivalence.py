@@ -1,0 +1,72 @@
+"""Tests for isomorphism and language equivalence of transition systems."""
+
+from repro.ts import TransitionSystem, deterministic_isomorphic, language_equivalent
+
+
+def cycle(names, events):
+    triples = []
+    for i, event in enumerate(events):
+        triples.append((names[i], event, names[(i + 1) % len(names)]))
+    return TransitionSystem.from_triples(triples, initial=names[0])
+
+
+class TestIsomorphism:
+    def test_identical_up_to_state_names(self):
+        first = cycle(["a0", "a1", "a2"], ["x", "y", "z"])
+        second = cycle(["b0", "b1", "b2"], ["x", "y", "z"])
+        assert deterministic_isomorphic(first, second)
+
+    def test_different_labels_not_isomorphic(self):
+        first = cycle(["a0", "a1", "a2"], ["x", "y", "z"])
+        second = cycle(["b0", "b1", "b2"], ["x", "y", "w"])
+        assert not deterministic_isomorphic(first, second)
+
+    def test_different_sizes_not_isomorphic(self):
+        first = cycle(["a0", "a1", "a2"], ["x", "y", "z"])
+        second = cycle(["b0", "b1", "b2", "b3"], ["x", "y", "z", "w"])
+        assert not deterministic_isomorphic(first, second)
+
+    def test_branching_structure_respected(self):
+        first = TransitionSystem.from_triples(
+            [("p", "a", "q"), ("p", "b", "r")], initial="p"
+        )
+        second = TransitionSystem.from_triples(
+            [("u", "a", "v"), ("u", "b", "v")], initial="u"
+        )
+        assert not deterministic_isomorphic(first, second)
+
+
+class TestLanguageEquivalence:
+    def test_identical_systems(self):
+        first = cycle(["a0", "a1"], ["x", "y"])
+        second = cycle(["b0", "b1"], ["x", "y"])
+        assert language_equivalent(first, second)
+
+    def test_hiding_an_event_makes_systems_equivalent(self):
+        with_tau = TransitionSystem.from_triples(
+            [("p", "a", "q"), ("q", "tau", "r"), ("r", "b", "p")], initial="p"
+        )
+        without_tau = TransitionSystem.from_triples(
+            [("u", "a", "v"), ("v", "b", "u")], initial="u"
+        )
+        assert not language_equivalent(with_tau, without_tau)
+        assert language_equivalent(with_tau, without_tau, hidden={"tau"})
+
+    def test_different_languages(self):
+        first = cycle(["a0", "a1"], ["x", "y"])
+        second = cycle(["b0", "b1"], ["x", "z"])
+        assert not language_equivalent(first, second)
+
+    def test_insertion_preserves_traces_modulo_new_signal(self, vme_sg):
+        """Requirement (1) of the paper: trace equivalence after hiding the
+        inserted state signals."""
+        from repro.core import solve_csc
+        from repro.stg.signals import SignalEdge
+
+        result = solve_csc(vme_sg)
+        assert result.solved
+        hidden = set()
+        for signal in result.inserted_signals:
+            hidden.add(SignalEdge.rise(signal))
+            hidden.add(SignalEdge.fall(signal))
+        assert language_equivalent(vme_sg.ts, result.final_sg.ts, hidden=hidden)

@@ -1,0 +1,84 @@
+"""Tests for repro.utils."""
+
+import time
+
+import pytest
+
+from repro.utils.ordered import OrderedSet, stable_sorted
+from repro.utils.timing import Stopwatch
+
+
+class TestOrderedSet:
+    def test_preserves_insertion_order(self):
+        items = OrderedSet(["c", "a", "b", "a"])
+        assert list(items) == ["c", "a", "b"]
+
+    def test_membership_and_len(self):
+        items = OrderedSet([1, 2, 3])
+        assert 2 in items
+        assert 5 not in items
+        assert len(items) == 3
+
+    def test_add_discard(self):
+        items = OrderedSet()
+        items.add("x")
+        items.add("x")
+        assert len(items) == 1
+        items.discard("x")
+        items.discard("missing")  # no error
+        assert len(items) == 0
+
+    def test_union_keeps_left_order(self):
+        left = OrderedSet([3, 1])
+        union = left.union([2, 1])
+        assert list(union) == [3, 1, 2]
+
+    def test_intersection_and_difference(self):
+        items = OrderedSet([1, 2, 3, 4])
+        assert list(items.intersection([4, 2])) == [2, 4]
+        assert list(items.difference([1, 3])) == [2, 4]
+
+    def test_equality_with_set(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+
+    def test_issubset(self):
+        assert OrderedSet([1, 2]).issubset([1, 2, 3])
+        assert not OrderedSet([1, 5]).issubset([1, 2, 3])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(OrderedSet([1]))
+
+    def test_as_frozenset(self):
+        assert OrderedSet([1, 2]).as_frozenset() == frozenset({1, 2})
+
+
+class TestStableSorted:
+    def test_sorts_comparable(self):
+        assert stable_sorted([3, 1, 2]) == [1, 2, 3]
+
+    def test_sorts_mixed_types_without_error(self):
+        mixed = ["b", ("a", 1), "a", ("a", 0)]
+        result = stable_sorted(mixed)
+        assert sorted(map(repr, mixed)) is not None
+        assert len(result) == 4
+        # Deterministic: same input, same output.
+        assert result == stable_sorted(list(mixed))
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.005
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.elapsed > 0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
