@@ -1,0 +1,94 @@
+"""Batch engine benchmark: legacy serial sweep vs the cached/parallel engine.
+
+Runs the full solvable Table-2 benchmark library three ways —
+
+* ``serial``        — the legacy pre-engine path: caches disabled, one
+  STG at a time (exactly what every benchmark driver did before the
+  batch engine existed);
+* ``engine serial`` — engine caches on, still one process;
+* ``engine jobs=4`` — engine caches on, four worker processes
+
+— verifies that all three produce byte-identical per-STG results, and
+writes the wall-clock record to ``BENCH_batch.json`` at the repository
+root so the speedup is tracked across PRs.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_batch_engine.py``) or through
+pytest (``pytest benchmarks/bench_batch_engine.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.engine.batch import run_benchmark_suite
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+SUITE = "table2"
+JOBS = 4
+
+
+def run_batch_benchmark(record_path: pathlib.Path = RECORD_PATH) -> dict:
+    """Run the three sweeps, check identity, write and return the record."""
+    serial = run_benchmark_suite(table=SUITE, jobs=1, caches_on=False)
+    engine_serial = run_benchmark_suite(table=SUITE, jobs=1, caches_on=True)
+    engine_jobs = run_benchmark_suite(table=SUITE, jobs=JOBS, caches_on=True)
+
+    fingerprints = [
+        json.dumps(result.fingerprints(), sort_keys=True)
+        for result in (serial, engine_serial, engine_jobs)
+    ]
+    identical = len(set(fingerprints)) == 1
+
+    record = {
+        "benchmark": "bench_batch_engine",
+        "suite": SUITE,
+        "cases": [item.name for item in serial.items],
+        "jobs": JOBS,
+        "serial_seconds": round(serial.wall_seconds, 3),
+        "engine_serial_seconds": round(engine_serial.wall_seconds, 3),
+        "jobs4_seconds": round(engine_jobs.wall_seconds, 3),
+        "speedup": round(serial.wall_seconds / engine_jobs.wall_seconds, 3),
+        "engine_serial_speedup": round(
+            serial.wall_seconds / engine_serial.wall_seconds, 3
+        ),
+        "identical": identical,
+        "solved": serial.solved_count,
+        "total": len(serial.items),
+        "per_stg": [
+            {
+                "name": base.name,
+                "solved": base.solved,
+                "inserted": base.summary.get("inserted"),
+                "serial_cpu": round(base.seconds, 3),
+                "jobs4_cpu": round(fast.seconds, 3),
+            }
+            for base, fast in zip(serial.items, engine_jobs.items)
+        ],
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_batch_engine_speedup(report_sink):
+    """The engine sweep must be >= 1.5x faster than the legacy serial
+    sweep, with byte-identical per-STG results."""
+    record = run_batch_benchmark()
+    report_sink.setdefault("Batch engine: legacy serial vs cached engine (jobs=4)", []).append(
+        {
+            "cases": record["total"],
+            "serial_s": record["serial_seconds"],
+            "engine_serial_s": record["engine_serial_seconds"],
+            "jobs4_s": record["jobs4_seconds"],
+            "speedup": record["speedup"],
+            "identical": record["identical"],
+        }
+    )
+    assert record["identical"], "parallel/cached results differ from the serial baseline"
+    assert record["speedup"] >= 1.5, f"speedup {record['speedup']}x below the 1.5x floor"
+
+
+if __name__ == "__main__":
+    outcome = run_batch_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    sys.exit(0 if outcome["identical"] and outcome["speedup"] >= 1.5 else 1)

@@ -4,13 +4,22 @@ Every harness regenerates one table or figure of the paper.  The numbers
 are printed to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to
 see the tables as they are produced); pytest-benchmark additionally
 records the timing of each entry.
+
+Harness runs are seed-stable: ``pytest_configure`` seeds the ``random``
+module from the shared ``--repro-seed`` option (repository-root
+``conftest.py``), so benchmark numbers are comparable across CI runners.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List
 
 import pytest
+
+
+def pytest_configure(config):
+    random.seed(config.getoption("--repro-seed"))
 
 
 def format_table(rows: List[Dict[str, object]], title: str) -> str:

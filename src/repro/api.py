@@ -2,9 +2,20 @@
 
 ``encode_stg`` is the one-call entry point a downstream user typically
 wants: STG in, CSC-satisfying encoded specification (plus logic estimate
-and, optionally, a re-synthesised STG) out.  The pieces are all available
+and, optionally, a re-synthesised STG) out.  ``encode_many`` is its
+batch twin: a sequence of STGs encoded concurrently through the process
+pool of :mod:`repro.engine.batch` (``jobs=N`` workers, results in input
+order and byte-identical to a serial run).  The pieces are all available
 individually in :mod:`repro.core`, :mod:`repro.stg`, :mod:`repro.logic`
 and :mod:`repro.petri` for finer control.
+
+Single-STG encoding is itself accelerated by the engine caches
+(:mod:`repro.engine.caches`): brick decomposition and adjacency are
+memoized on each state graph and selectively carried over across signal
+insertions, block cost evaluations are memoized per search, and CSC
+conflicts are re-analysed incrementally after every insertion.  The
+caches never change results; ``repro.engine.disable_caches()`` restores
+the recompute-everything behaviour.
 """
 
 from __future__ import annotations
@@ -14,11 +25,21 @@ from typing import Dict, Optional
 
 from repro.core.csc import csc_summary
 from repro.core.solver import EncodingResult, SolverSettings, solve_csc
+from repro.engine.batch import BatchItem, BatchResult, encode_many
 from repro.logic.netlist import CircuitEstimate, estimate_circuit
 from repro.petri.synthesis import SynthesisError, synthesize_stg
 from repro.stg.state_graph import StateGraph, build_state_graph
 from repro.stg.stg import STG
 from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "EncodingReport",
+    "analyze_stg",
+    "encode_stg",
+    "encode_many",
+    "BatchItem",
+    "BatchResult",
+]
 
 
 @dataclass

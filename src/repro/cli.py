@@ -7,11 +7,21 @@ Three sub-commands mirror the workflow of the original tool:
   inserted signals and the logic estimate, optionally write the encoded
   specification back as a ``.g`` file;
 * ``bench NAME``   — run a named benchmark from the built-in library.
+
+``bench --all`` runs the whole library as a batch through the encoding
+engine: ``--jobs N`` encodes N benchmarks concurrently in worker
+processes (results are byte-identical to a serial run), ``--smallest K``
+keeps only the K smallest STGs (the CI smoke job uses 3), and
+``--json FILE`` writes the machine-readable batch record that CI uploads
+as its benchmark artifact.  In ``--all`` mode each case runs with its
+own library settings (frontier width 16, relaxed cases with
+``allow_input_delay``), matching the Table-1/Table-2 harnesses.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -19,6 +29,7 @@ from repro.api import analyze_stg, encode_stg
 from repro.bench_stg.library import benchmark_names, load_benchmark
 from repro.core.search import SearchSettings
 from repro.core.solver import SolverSettings
+from repro.engine.batch import run_benchmark_suite
 from repro.stg.parser import read_g_file
 from repro.stg.writer import write_g
 
@@ -26,11 +37,11 @@ from repro.stg.writer import write_g
 def _solver_settings(args: argparse.Namespace) -> SolverSettings:
     return SolverSettings(
         search=SearchSettings(
-            frontier_width=args.frontier_width,
-            brick_mode=args.bricks,
+            frontier_width=args.frontier_width if args.frontier_width is not None else 8,
+            brick_mode=args.bricks if args.bricks is not None else "regions",
             enlarge_concurrency=args.enlarge_concurrency,
         ),
-        max_signals=args.max_signals,
+        max_signals=args.max_signals if args.max_signals is not None else 32,
         verbose=args.verbose,
     )
 
@@ -78,14 +89,66 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
-        for name in benchmark_names(args.table):
+        for name in benchmark_names(None if args.table == "all" else args.table):
             print(name)
         return 0
+    if args.all:
+        return _cmd_bench_all(args)
+    if args.table == "all":
+        print("error: --table all requires --all or --list", file=sys.stderr)
+        return 2
     stg = load_benchmark(args.name, table=args.table)
     report = encode_stg(stg, settings=_solver_settings(args), max_states=args.max_states)
     for key, value in report.table_row().items():
         print(f"{key:<12} : {value}")
     return 0 if report.solved else 2
+
+
+def _cmd_bench_all(args: argparse.Namespace) -> int:
+    """Batch-encode the benchmark library (``bench --all``).
+
+    Per-case library settings are the baseline (frontier width 16,
+    relaxed cases with ``allow_input_delay``); explicitly supplied CLI
+    tuning flags overlay them.
+    """
+    result = run_benchmark_suite(
+        table=args.table,
+        jobs=args.jobs,
+        smallest=args.smallest,
+        frontier_width=args.frontier_width if args.frontier_width is not None else 16,
+        brick_mode=args.bricks,
+        max_signals=args.max_signals,
+        enlarge_concurrency=args.enlarge_concurrency,
+        verbose=args.verbose,
+        max_states=args.max_states,
+    )
+    name_width = max((len(item.name) for item in result.items), default=4)
+    for item in result.items:
+        if item.error is not None:
+            print(f"{item.name:<{name_width}}  ERROR: {item.error}")
+            continue
+        row = item.table_row
+        print(
+            f"{item.name:<{name_width}}  states={row.get('states'):<6} "
+            f"inserted={row.get('inserted'):<2} solved={str(item.solved):<5} "
+            f"cpu={item.seconds:.2f}s"
+        )
+    print(
+        f"-- {result.solved_count}/{len(result.items)} solved, "
+        f"jobs={result.jobs}, wall {result.wall_seconds:.2f}s"
+    )
+    if args.json is not None:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write batch record to {args.json}: {error}", file=sys.stderr)
+            return 2
+        print(f"batch record written to {args.json}")
+    # "Unsolved" is a legitimate benchmark outcome (some strict-mode cases
+    # have no input-preserving solution); only per-item crashes fail the run.
+    return 0 if all(item.error is None for item in result.items) else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,9 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--frontier-width", type=int, default=8, help="FW parameter of the heuristic search")
-        sub.add_argument("--bricks", choices=["regions", "excitation", "states"], default="regions", help="granularity of the insertion search space")
-        sub.add_argument("--max-signals", type=int, default=32, help="maximum number of inserted state signals")
+        # Tuning flags default to None so `bench --all` can tell "not
+        # given" (use the per-case library settings) from an explicit
+        # value (overlay it); single-STG commands resolve None to the
+        # documented defaults in _solver_settings.
+        sub.add_argument("--frontier-width", type=int, default=None, help="FW parameter of the heuristic search (default 8; 16 in --all mode)")
+        sub.add_argument("--bricks", choices=["regions", "excitation", "states"], default=None, help="granularity of the insertion search space (default regions)")
+        sub.add_argument("--max-signals", type=int, default=None, help="maximum number of inserted state signals (default 32)")
         sub.add_argument("--max-states", type=int, default=200000, help="bound on explicit state-graph size")
         sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
         sub.add_argument("--verbose", action="store_true")
@@ -118,8 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser("bench", help="run a benchmark from the built-in library")
     bench.add_argument("name", nargs="?", default="vme2int")
-    bench.add_argument("--table", choices=["table1", "table2"], default="table2")
+    bench.add_argument("--table", choices=["table1", "table2", "all"], default="table2")
     bench.add_argument("--list", action="store_true", help="list available benchmarks")
+    bench.add_argument("--all", action="store_true", help="batch-encode every solvable benchmark of the table")
+    bench.add_argument("--jobs", type=int, default=1, help="worker processes for --all (results identical to serial)")
+    bench.add_argument("--smallest", type=int, default=None, metavar="K", help="with --all: keep only the K smallest STGs")
+    bench.add_argument("--json", default=None, metavar="FILE", help="with --all: write the batch record as JSON")
     add_common(bench)
     bench.set_defaults(handler=_cmd_bench)
     return parser

@@ -48,6 +48,22 @@ def _intersection_closure(regions: Sequence[Brick], max_per_event: int = 64) -> 
     return closure
 
 
+def event_region_bricks(
+    ts: TransitionSystem, event, max_explored: int = 20000
+) -> List[Brick]:
+    """The region-derived bricks contributed by one event.
+
+    Minimal pre- and post-regions of ``event`` together with their
+    per-event intersection closures — the per-event unit of work of
+    ``compute_bricks(mode="regions")``, exposed separately so the engine
+    cache (:mod:`repro.engine.caches`) can recompute only the events an
+    insertion touched.
+    """
+    pre = minimal_preregions(ts, event, max_explored=max_explored)
+    post = minimal_postregions(ts, event, max_explored=max_explored)
+    return _intersection_closure(pre) + _intersection_closure(post)
+
+
 def compute_bricks(
     ts: TransitionSystem,
     mode: str = "regions",
@@ -80,10 +96,7 @@ def compute_bricks(
         raise ValueError(f"unknown brick mode: {mode!r}")
 
     for event in stable_sorted(ts.events):
-        pre = minimal_preregions(ts, event, max_explored=max_explored)
-        post = minimal_postregions(ts, event, max_explored=max_explored)
-        bricks.extend(_intersection_closure(pre))
-        bricks.extend(_intersection_closure(post))
+        bricks.extend(event_region_bricks(ts, event, max_explored=max_explored))
     return _deduplicate(bricks)
 
 
@@ -91,6 +104,11 @@ def _deduplicate(bricks: Iterable[Brick]) -> List[Brick]:
     unique = list(dict.fromkeys(b for b in bricks if b))
     unique.sort(key=lambda b: (len(b), sorted(map(repr, b))))
     return unique
+
+
+def deduplicate_bricks(bricks: Iterable[Brick]) -> List[Brick]:
+    """Drop empty/duplicate bricks and sort canonically (public alias)."""
+    return _deduplicate(bricks)
 
 
 def brick_adjacency(

@@ -42,6 +42,15 @@ class Cost:
     trigger_estimate: int
     border_size: int
 
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (used by CI artifacts and summaries)."""
+        return {
+            "unsolved_conflicts": self.unsolved_conflicts,
+            "input_delays": self.input_delays,
+            "trigger_estimate": self.trigger_estimate,
+            "border_size": self.border_size,
+        }
+
     def __str__(self) -> str:
         return (
             f"(unsolved={self.unsolved_conflicts}, input_delays={self.input_delays}, "

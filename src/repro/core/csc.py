@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
 
+from repro.engine import caches as engine_caches
 from repro.stg.signals import SignalEdge
 from repro.stg.state_graph import StateGraph
 from repro.utils.ordered import stable_sorted
@@ -40,10 +41,20 @@ def _states_by_code(sg: StateGraph) -> Dict[Code, List[State]]:
     return groups
 
 
+def code_groups(sg: StateGraph) -> Dict[Code, List[State]]:
+    """States grouped by binary code (cached per state graph)."""
+    if not engine_caches.caches_enabled():
+        return _states_by_code(sg)
+    cache = engine_caches.get_cache(sg)
+    if cache.code_groups is None:
+        cache.code_groups = _states_by_code(sg)
+    return cache.code_groups
+
+
 def usc_conflicts(sg: StateGraph) -> List[Tuple[State, State]]:
     """All pairs of distinct states that share a binary code."""
     pairs: List[Tuple[State, State]] = []
-    for _code, states in _states_by_code(sg).items():
+    for _code, states in code_groups(sg).items():
         if len(states) < 2:
             continue
         ordered = stable_sorted(states)
@@ -57,15 +68,11 @@ def _noninput_signature(sg: StateGraph, state: State) -> FrozenSet[SignalEdge]:
     return frozenset(sg.enabled_noninput_edges(state))
 
 
-def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
-    """All CSC conflict pairs of the state graph.
-
-    Two states conflict when they have the same code and enable different
-    sets of non-input signal transitions (the pair ``(1*1, 1*1*)`` of
-    Figure 3, for instance, where ``b`` is enabled in one state only).
-    """
+def _conflicts_of_groups(
+    sg: StateGraph, groups: Dict[Code, List[State]]
+) -> List[CSCConflict]:
     conflicts: List[CSCConflict] = []
-    for code, states in _states_by_code(sg).items():
+    for code, states in groups.items():
         if len(states) < 2:
             continue
         ordered = stable_sorted(states)
@@ -74,6 +81,69 @@ def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
             for second in ordered[i + 1 :]:
                 if signatures[first] != signatures[second]:
                     conflicts.append(CSCConflict(first, second, code))
+    return conflicts
+
+
+def csc_conflicts_from_scratch(sg: StateGraph) -> List[CSCConflict]:
+    """All CSC conflict pairs, recomputed over the full state graph.
+
+    This is the reference implementation; :func:`csc_conflicts` (the
+    entry point everything else uses) adds per-graph memoization and an
+    incremental path for graphs produced by signal insertion.
+    """
+    return _conflicts_of_groups(sg, _states_by_code(sg))
+
+
+def _csc_conflicts_incremental(sg: StateGraph, parent: StateGraph) -> List[CSCConflict]:
+    """CSC conflicts of a graph obtained from ``parent`` by one insertion.
+
+    Every state of ``sg`` is a pair ``(parent_state, v)`` whose code is
+    the parent code extended with ``v``, so two states of ``sg`` can only
+    share a code when their parent states shared one.  It is therefore
+    enough to re-examine the descendants of the parent's code-sharing
+    groups — enabled-signal signatures do change near the insertion
+    borders, so those are recomputed on ``sg``, but states descending
+    from uniquely-coded parents are skipped entirely.  Produces the exact
+    list (including order) of :func:`csc_conflicts_from_scratch`.
+    """
+    candidates: set = set()
+    for states in code_groups(parent).values():
+        if len(states) > 1:
+            candidates.update(states)
+    groups: Dict[Code, List[State]] = {}
+    if candidates:
+        code_of = sg.code
+        for state in sg.states:
+            if state[0] in candidates:
+                groups.setdefault(code_of(state), []).append(state)
+    return _conflicts_of_groups(sg, groups)
+
+
+def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
+    """All CSC conflict pairs of the state graph.
+
+    Two states conflict when they have the same code and enable different
+    sets of non-input signal transitions (the pair ``(1*1, 1*1*)`` of
+    Figure 3, for instance, where ``b`` is enabled in one state only).
+
+    With the engine caches enabled the result is memoized per graph, and
+    graphs produced by :func:`repro.core.insertion.insert_signal` are
+    re-analysed incrementally from their parent's code groups instead of
+    recomputing the full conflict relation.  Callers must treat the
+    returned list as read-only.
+    """
+    if not engine_caches.caches_enabled():
+        return csc_conflicts_from_scratch(sg)
+    cache = engine_caches.get_cache(sg)
+    if cache.conflicts is not None:
+        return cache.conflicts
+    parent_info = engine_caches.provenance_parent(cache)
+    if parent_info is not None:
+        parent, _partition = parent_info
+        conflicts = _csc_conflicts_incremental(sg, parent)
+    else:
+        conflicts = csc_conflicts_from_scratch(sg)
+    cache.conflicts = conflicts
     return conflicts
 
 

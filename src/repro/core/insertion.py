@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.ipartition import IPartition
+from repro.engine import caches as engine_caches
 from repro.stg.signals import SignalEdge, SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.transition_system import TransitionSystem
@@ -137,10 +138,14 @@ def insert_signal(
         original, value = state
         new_encoding[state] = sg.code(original) + (value,)
 
-    return StateGraph(
+    new_sg = StateGraph(
         ts=new_ts,
         signals=new_signals,
         signal_types=new_types,
         encoding=new_encoding,
         name=new_ts.name,
     )
+    # Record where the expanded graph came from so the engine caches can
+    # re-analyse CSC incrementally and carry over untouched brick entries.
+    engine_caches.note_insertion(sg, new_sg, partition, signal)
+    return new_sg

@@ -21,6 +21,8 @@ from repro.core.cost import BlockEvaluation, Cost, evaluate_block, evaluate_part
 from repro.core.csc import CSCConflict, csc_conflicts
 from repro.core.ipartition import IPartition
 from repro.core.sip import InsertionCheck, check_insertion
+from repro.engine import caches as engine_caches
+from repro.engine import indexing
 from repro.stg.signals import SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import is_event_persistent
@@ -103,6 +105,12 @@ def find_insertion_plan(
 
     Returns ``None`` when the state graph has no CSC conflicts or when no
     valid candidate could be found within the search budget.
+
+    When the engine caches are enabled (the default) the search runs on
+    the integer-indexed fast path of :mod:`repro.engine.indexing`, with
+    block evaluations memoized by block frozenset; the object-space
+    implementation below is the cache-disabled baseline and produces
+    identical plans.
     """
     settings = settings or SearchSettings()
     if conflicts is None:
@@ -116,6 +124,32 @@ def find_insertion_plan(
         # steer the search (the solver always re-checks the full set).
         conflicts = conflicts[: settings.max_conflict_pairs]
 
+    if engine_caches.caches_enabled():
+        return _find_insertion_plan_indexed(
+            sg, signal, settings, conflicts, full_conflict_count
+        )
+    return _find_insertion_plan_legacy(
+        sg, signal, settings, conflicts, full_conflict_count
+    )
+
+
+def _find_insertion_plan_legacy(
+    sg: StateGraph,
+    signal: str,
+    settings: SearchSettings,
+    conflicts: Sequence[CSCConflict],
+    full_conflict_count: int,
+) -> Optional[InsertionPlan]:
+    """Object-space reference implementation of the Figure-4 search.
+
+    Deliberately kept as an independent copy of the driver logic rather
+    than sharing it with the indexed path: it is the frozen differential
+    oracle the engine is tested against, so a bug introduced into shared
+    code could not silently affect both.  Any intentional behavioural
+    change must be applied to BOTH this function and
+    :func:`_find_insertion_plan_indexed` in lockstep —
+    ``tests/test_engine.py`` asserts they produce identical plans.
+    """
     bricks = compute_bricks(sg.ts, mode=settings.brick_mode, max_explored=settings.region_budget)
     if not bricks:
         return None
@@ -221,6 +255,201 @@ def find_insertion_plan(
             candidates_examined=examined,
         )
     return None
+
+
+class _IndexedCandidate:
+    """Index-space twin of :class:`_BlockCandidate` (block as a bitmask)."""
+
+    __slots__ = ("mask", "size", "brick_indices", "evaluation")
+
+    def __init__(
+        self,
+        mask: int,
+        brick_indices: FrozenSet[int],
+        evaluation: "indexing.IndexedEvaluation",
+    ) -> None:
+        self.mask = mask
+        self.size = evaluation.size
+        self.brick_indices = brick_indices
+        self.evaluation = evaluation
+
+    @property
+    def cost(self) -> Cost:
+        return self.evaluation.cost
+
+
+def _rank_indexed(candidates: Sequence[_IndexedCandidate]) -> List[_IndexedCandidate]:
+    return sorted(candidates, key=lambda c: (c.cost, c.size))
+
+
+def _find_insertion_plan_indexed(
+    sg: StateGraph,
+    signal: str,
+    settings: SearchSettings,
+    conflicts: Sequence[CSCConflict],
+    full_conflict_count: int,
+) -> Optional[InsertionPlan]:
+    """The Figure-4 search on the integer-indexed fast path.
+
+    Same algorithm, same tie-breaking and therefore the same plans as
+    :func:`_find_insertion_plan_legacy`; blocks are bitmasks, evaluations
+    are memoized per block, and brick decomposition/adjacency come from
+    the per-graph cache.
+    """
+    bricks, masks, adjacency = indexing.get_indexed_bricks(
+        sg, mode=settings.brick_mode, max_explored=settings.region_budget
+    )
+    if not bricks:
+        return None
+    index = indexing.get_index(sg)
+    num_states = index.num_states
+    evaluator = indexing.IndexedEvaluator(
+        sg, conflicts, allow_input_delay=settings.allow_input_delay
+    )
+
+    # --- seed: every brick is a candidate block -------------------------
+    seen_blocks: Set[int] = set()
+    good: List[_IndexedCandidate] = []
+    for brick_index, mask in enumerate(masks):
+        evaluation = evaluator.evaluate(mask)
+        if evaluation is None or mask in seen_blocks:
+            continue
+        seen_blocks.add(mask)
+        good.append(_IndexedCandidate(mask, frozenset([brick_index]), evaluation))
+    if not good:
+        return None
+
+    frontier = _rank_indexed(good)[: settings.frontier_width]
+
+    # --- Figure 4: grow blocks with adjacent bricks ---------------------
+    for _iteration in range(settings.max_search_iterations):
+        new_frontier: List[_IndexedCandidate] = []
+        for candidate in frontier:
+            neighbour_indices: Set[int] = set()
+            for brick_index in candidate.brick_indices:
+                neighbour_indices.update(adjacency[brick_index])
+            neighbour_indices -= set(candidate.brick_indices)
+            for brick_index in sorted(neighbour_indices):
+                grown_mask = candidate.mask | masks[brick_index]
+                if grown_mask in seen_blocks or grown_mask.bit_count() >= num_states:
+                    continue
+                evaluation = evaluator.evaluate(grown_mask)
+                seen_blocks.add(grown_mask)
+                if evaluation is None:
+                    continue
+                if evaluation.cost < candidate.cost:
+                    grown = _IndexedCandidate(
+                        grown_mask,
+                        candidate.brick_indices | {brick_index},
+                        evaluation,
+                    )
+                    good.append(grown)
+                    new_frontier.append(grown)
+        if not new_frontier:
+            break
+        frontier = _rank_indexed(new_frontier)[: settings.frontier_width]
+
+    ranked = _rank_indexed(good)
+
+    # --- merge the best disconnected blocks ------------------------------
+    merged = _greedy_merge_indexed(ranked, evaluator, num_states, settings)
+    if merged is not None:
+        ranked = [merged] + ranked
+
+    # --- validate candidates in cost order --------------------------------
+    persistent_before = {
+        event for event in sg.ts.events if is_event_persistent(sg.ts, event)
+    }
+    examined = 0
+    for candidate in ranked:
+        if examined >= settings.max_validity_checks:
+            break
+        if not settings.allow_input_delay and candidate.cost.input_delays > 0:
+            # The SIP check would reject it anyway; keep scanning so that
+            # deeper input-preserving candidates get their chance.
+            continue
+        examined += 1
+        partition = candidate.evaluation.to_partition(index)
+        check = check_insertion(
+            sg,
+            partition,
+            signal=signal,
+            signal_type=SignalType.INTERNAL,
+            persistent_before=persistent_before,
+            check_commutativity=settings.check_commutativity,
+            allow_input_delay=settings.allow_input_delay,
+        )
+        if not check.ok:
+            continue
+        if settings.require_actual_progress and check.new_sg is not None:
+            # csc_conflicts re-analyses the expanded graph incrementally
+            # (only descendants of code-sharing groups are re-examined).
+            remaining_after = len(csc_conflicts(check.new_sg))
+            if remaining_after >= full_conflict_count:
+                # Valid but useless: it would not reduce the number of
+                # conflicts, so keep looking for a candidate that does.
+                continue
+        block_states = frozenset(
+            index.states[i] for i in index.states_of_mask(candidate.mask)
+        )
+        cost = candidate.cost
+        if settings.enlarge_concurrency:
+            object_candidate = _BlockCandidate(
+                block_states,
+                candidate.brick_indices,
+                BlockEvaluation(block=block_states, partition=partition, cost=cost),
+            )
+            partition, cost, check = _enlarge_concurrency(
+                sg,
+                object_candidate,
+                bricks,
+                conflicts,
+                settings,
+                persistent_before,
+                signal,
+                check,
+            )
+        return InsertionPlan(
+            signal=signal,
+            block=block_states,
+            partition=partition,
+            cost=cost,
+            check=check,
+            conflicts_before=len(conflicts),
+            candidates_examined=examined,
+        )
+    return None
+
+
+def _greedy_merge_indexed(
+    ranked: Sequence[_IndexedCandidate],
+    evaluator: "indexing.IndexedEvaluator",
+    num_states: int,
+    settings: SearchSettings,
+) -> Optional[_IndexedCandidate]:
+    """Index-space twin of :func:`_greedy_merge` (same greedy order)."""
+    if not ranked:
+        return None
+    best = ranked[0]
+    current_mask = best.mask
+    current_bricks = best.brick_indices
+    current_eval = best.evaluation
+    improved = False
+    for other in ranked[1 : settings.max_merge_candidates]:
+        union_mask = current_mask | other.mask
+        if union_mask.bit_count() >= num_states or union_mask == current_mask:
+            continue
+        evaluation = evaluator.evaluate(union_mask)
+        if evaluation is None:
+            continue
+        if evaluation.cost < current_eval.cost:
+            current_mask = union_mask
+            current_bricks = current_bricks | other.brick_indices
+            current_eval = evaluation
+            improved = True
+    if not improved:
+        return None
+    return _IndexedCandidate(current_mask, current_bricks, current_eval)
 
 
 def _greedy_merge(

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.cost import Cost
 from repro.core.csc import csc_conflicts
-from repro.core.ipartition import IPartition
 from repro.core.search import InsertionPlan, SearchSettings, find_insertion_plan
 from repro.stg.state_graph import StateGraph
 from repro.utils.timing import Stopwatch
@@ -42,8 +42,22 @@ class InsertionRecord:
     states_after: int
     splus_size: int
     sminus_size: int
-    cost: object
+    cost: Cost
     candidates_examined: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view of the record."""
+        return {
+            "signal": self.signal,
+            "conflicts_before": self.conflicts_before,
+            "conflicts_after": self.conflicts_after,
+            "states_before": self.states_before,
+            "states_after": self.states_after,
+            "splus_size": self.splus_size,
+            "sminus_size": self.sminus_size,
+            "cost": self.cost.as_dict(),
+            "candidates_examined": self.candidates_examined,
+        }
 
 
 @dataclass
@@ -66,7 +80,9 @@ class EncodingResult:
         return len(self.records)
 
     def summary(self) -> Dict[str, object]:
-        """Flat summary used by the CLI and the benchmark tables."""
+        """Flat, JSON-serialisable summary used by the CLI, the batch
+        engine and the benchmark tables (CI artifacts round-trip it
+        through ``json.dumps``/``loads``)."""
         return {
             "name": self.initial_sg.name,
             "states_before": self.initial_sg.num_states,
@@ -76,8 +92,17 @@ class EncodingResult:
             "inserted": self.num_inserted,
             "solved": self.solved,
             "conflicts_remaining": self.conflicts_remaining,
+            "insertions": [record.as_dict() for record in self.records],
             "cpu_seconds": round(self.cpu_seconds, 3),
         }
+
+    def fingerprint(self) -> Dict[str, object]:
+        """The summary minus timing: equal fingerprints mean the runs
+        produced identical encodings (used by the determinism tests and
+        the serial-vs-parallel identity check of the batch engine)."""
+        flat = self.summary()
+        del flat["cpu_seconds"]
+        return flat
 
 
 def _fresh_signal_name(sg: StateGraph, prefix: str, counter: int) -> str:
@@ -102,6 +127,10 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
 
     current = sg
     for counter in range(settings.max_signals):
+        # With the engine caches enabled this is free after the first
+        # iteration: the expanded graph's conflicts were already derived
+        # incrementally (from its parent's code groups) when the search
+        # validated the insertion, and the memoized list is reused here.
         conflicts = csc_conflicts(current)
         if not conflicts:
             result.solved = True

@@ -1,0 +1,246 @@
+"""Batch encoding: many STGs through a process pool.
+
+``encode_many`` is the engine's entry point: it encodes a sequence of
+STGs either in-process (``jobs=1``) or on a ``ProcessPoolExecutor``
+(``jobs>1``), returning lightweight JSON-serialisable
+:class:`BatchItem` records in input order.  Per-STG work is independent,
+results are deterministic, and a parallel run is byte-identical to a
+serial run of the same inputs (the determinism tests assert exactly
+that).
+
+``run_benchmark_suite`` applies it to the built-in benchmark library
+(``pyetrify bench --all --jobs N``), using each case's own solver
+settings so relaxed benchmarks get ``allow_input_delay`` just as the
+table harnesses do.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
+from repro.core.solver import SolverSettings
+from repro.engine.caches import use_caches
+from repro.stg.stg import STG
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class BatchItem:
+    """Outcome of encoding one STG (JSON-serialisable throughout)."""
+
+    name: str
+    solved: bool = False
+    summary: Dict[str, object] = field(default_factory=dict)
+    table_row: Dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Result identity minus timing (for serial-vs-parallel checks)."""
+        flat = {key: value for key, value in self.summary.items() if key != "cpu_seconds"}
+        row = {key: value for key, value in self.table_row.items() if key != "cpu"}
+        return {"summary": flat, "table_row": row, "error": self.error}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "solved": self.solved,
+            "summary": self.summary,
+            "table_row": self.table_row,
+            "seconds": round(self.seconds, 3),
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchResult:
+    """All items of one ``encode_many`` run plus wall-clock accounting."""
+
+    items: List[BatchItem]
+    jobs: int
+    wall_seconds: float
+    use_caches: bool = True
+
+    @property
+    def solved_count(self) -> int:
+        return sum(1 for item in self.items if item.solved)
+
+    def fingerprints(self) -> List[Dict[str, object]]:
+        return [item.fingerprint() for item in self.items]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "use_caches": self.use_caches,
+            "solved": self.solved_count,
+            "total": len(self.items),
+            "items": [item.as_dict() for item in self.items],
+        }
+
+
+def _encode_one(payload) -> BatchItem:
+    """Worker body: encode one STG and reduce the report to a BatchItem.
+
+    Module-level so it pickles for the process pool; ``payload`` carries
+    everything the worker needs (the cache switch included, so a
+    cache-disabled baseline run stays cache-free inside the workers).
+    """
+    stg, settings, estimate_logic, max_states, caches_on = payload
+    from repro.api import encode_stg  # deferred: repro.api imports this package
+
+    try:
+        with use_caches(caches_on):
+            report = encode_stg(
+                stg,
+                settings=settings,
+                estimate_logic=estimate_logic,
+                max_states=max_states,
+            )
+    except Exception as error:  # pragma: no cover - defensive per-item isolation
+        return BatchItem(name=stg.name, error=f"{type(error).__name__}: {error}")
+    return BatchItem(
+        name=stg.name,
+        solved=report.solved,
+        summary=report.result.summary(),
+        table_row=report.table_row(),
+        seconds=report.total_seconds,
+    )
+
+
+def encode_many(
+    stgs: Sequence[STG],
+    settings: Union[SolverSettings, Sequence[Optional[SolverSettings]], None] = None,
+    jobs: int = 1,
+    estimate_logic: bool = True,
+    max_states: Optional[int] = None,
+    caches_on: bool = True,
+) -> BatchResult:
+    """Encode many STGs, optionally in parallel worker processes.
+
+    Parameters
+    ----------
+    stgs:
+        The input specifications; results come back in the same order.
+    settings:
+        One :class:`SolverSettings` applied to every STG, or a sequence
+        aligned with ``stgs`` (``None`` entries use solver defaults).
+    jobs:
+        Number of worker processes; ``jobs <= 1`` encodes in-process.
+        Parallel results are byte-identical to serial ones — per-STG
+        work shares nothing and every tie-break in the solver is
+        deterministic.
+    estimate_logic / max_states:
+        Forwarded to :func:`repro.api.encode_stg`.
+    caches_on:
+        Engine-cache switch forwarded into the workers; disabling it
+        yields the legacy recompute-everything behaviour (used as the
+        baseline by ``benchmarks/bench_batch_engine.py``).
+    """
+    stgs = list(stgs)
+    if isinstance(settings, SolverSettings) or settings is None:
+        per_stg: List[Optional[SolverSettings]] = [settings] * len(stgs)
+    else:
+        per_stg = list(settings)
+        if len(per_stg) != len(stgs):
+            raise ValueError(
+                f"got {len(per_stg)} settings for {len(stgs)} STGs; "
+                "pass one SolverSettings or one per STG"
+            )
+    payloads = [
+        (stg, case_settings, estimate_logic, max_states, caches_on)
+        for stg, case_settings in zip(stgs, per_stg)
+    ]
+
+    watch = Stopwatch().start()
+    if jobs <= 1 or len(payloads) < 2:
+        items = [_encode_one(payload) for payload in payloads]
+    else:
+        workers = min(jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            items = list(pool.map(_encode_one, payloads))
+    return BatchResult(
+        items=items,
+        jobs=max(1, jobs),
+        wall_seconds=watch.stop(),
+        use_caches=caches_on,
+    )
+
+
+# ----------------------------------------------------------------------
+# benchmark-library driver
+# ----------------------------------------------------------------------
+def _size_proxy(case: BenchmarkCase) -> int:
+    """Deterministic STG-size proxy used to pick the smallest cases."""
+    stats = case.build().stats()
+    return int(stats["places"]) + int(stats["transitions"])
+
+
+def suite_cases(table: str = "table2") -> List[BenchmarkCase]:
+    """The solvable cases of one table (or of both, ``table="all"``)."""
+    if table == "table1":
+        cases = TABLE1_CASES
+    elif table == "table2":
+        cases = TABLE2_CASES
+    elif table == "all":
+        cases = TABLE2_CASES + TABLE1_CASES
+    else:
+        raise ValueError(f"unknown table {table!r}")
+    # Entries marked solve=False / explicit_ok=False exist for symbolic
+    # state counting only; a batch encoding sweep cannot run them.
+    return [case for case in cases if case.solve and case.explicit_ok]
+
+
+def select_smallest_cases(
+    cases: Sequence[BenchmarkCase], count: int
+) -> List[BenchmarkCase]:
+    """The ``count`` smallest cases by places+transitions (ties by name)."""
+    ranked = sorted(cases, key=lambda case: (_size_proxy(case), case.name))
+    return ranked[: max(0, count)]
+
+
+def run_benchmark_suite(
+    table: str = "table2",
+    jobs: int = 1,
+    smallest: Optional[int] = None,
+    frontier_width: int = 16,
+    brick_mode: Optional[str] = None,
+    max_signals: Optional[int] = None,
+    enlarge_concurrency: bool = False,
+    verbose: bool = False,
+    max_states: Optional[int] = 200000,
+    caches_on: bool = True,
+) -> BatchResult:
+    """Encode the built-in benchmark library (``pyetrify bench --all``).
+
+    Each case runs with its own library settings
+    (:meth:`BenchmarkCase.solver_settings`), so strict cases stay
+    input-preserving and relaxed ones get ``allow_input_delay`` — the
+    same regime as the Table-1/Table-2 harnesses.  ``smallest`` keeps
+    only the N smallest STGs (the CI smoke job uses 3).  The remaining
+    knobs overlay the per-case settings when supplied, so the CLI's
+    tuning flags apply in ``--all`` mode too; ``max_states`` bounds
+    explicit state-graph construction exactly as in single-STG mode.
+    """
+    cases = suite_cases(table)
+    if smallest is not None:
+        cases = select_smallest_cases(cases, smallest)
+    stgs = [case.build() for case in cases]
+    settings = []
+    for case in cases:
+        case_settings = case.solver_settings(frontier_width=frontier_width)
+        if brick_mode is not None:
+            case_settings.search.brick_mode = brick_mode
+        if max_signals is not None:
+            case_settings.max_signals = max_signals
+        if enlarge_concurrency:
+            case_settings.search.enlarge_concurrency = True
+        if verbose:
+            case_settings.verbose = True
+        settings.append(case_settings)
+    return encode_many(
+        stgs, settings=settings, jobs=jobs, max_states=max_states, caches_on=caches_on
+    )

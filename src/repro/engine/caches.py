@@ -1,0 +1,289 @@
+"""Shared per-state-graph caches with insertion-aware invalidation.
+
+The iterative CSC solver re-analyses a *chain* of state graphs: every
+inserted signal produces a new graph whose states are ``(old_state, v)``
+pairs.  Re-deriving bricks, regions and the CSC conflict relation from
+scratch on every link of that chain is where the solver used to spend
+most of its time.  This module attaches a cache to each
+:class:`~repro.stg.state_graph.StateGraph` that
+
+* memoizes brick decomposition (per event) and brick adjacency,
+* memoizes the CSC conflict list and the code groups backing it,
+* records the *provenance* of a graph produced by signal insertion
+  (parent graph, I-partition, inserted signal), which enables
+
+  - incremental CSC re-analysis (:func:`repro.core.csc.csc_conflicts`
+    only re-examines states descending from previously code-sharing
+    groups), and
+  - selective carry-over of per-event brick entries: an event's cached
+    bricks survive the insertion when none of their states was split by
+    the insertion (i.e. none lies in ``ER(x+)`` or ``ER(x-)``); only the
+    touched entries are recomputed on the expanded graph.
+
+Caches never change results: excitation-region carry-over is exact (the
+untouched part of the graph is replayed isomorphically at the stable
+value of the new signal), and region-brick carry-over is verified against
+a from-scratch recomputation by the regression tests.  The global switch
+(:func:`disable_caches` / :func:`use_caches`) restores the original
+recompute-everything behaviour, which the batch benchmark uses as its
+serial baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.bricks import (
+    brick_adjacency,
+    compute_bricks,
+    deduplicate_bricks,
+    event_region_bricks,
+)
+from repro.core.excitation import excitation_regions
+from repro.utils.ordered import stable_sorted
+
+State = Hashable
+Brick = FrozenSet[State]
+
+_CACHE_ATTR = "_repro_cache"
+
+# Region-brick carry-over is exact on every library benchmark (see
+# tests/test_engine.py); the flag exists so the conservative behaviour
+# (recompute all pre/post-region bricks after every insertion) can be
+# restored without code changes if a future workload disproves that.
+CARRY_REGION_BRICKS = True
+
+_state = threading.local()
+
+
+def caches_enabled() -> bool:
+    """True when the engine caches are active in this thread.
+
+    The switch is *per thread* (and therefore per worker process),
+    defaulting to enabled: concurrent solvers can flip it independently
+    without racing each other.  Code running on other threads is not
+    affected by :func:`disable_caches` — spawn threads/workers with the
+    setting you want (``encode_many`` forwards its ``caches_on`` flag
+    into the pool workers for exactly this reason).
+    """
+    return getattr(_state, "enabled", True)
+
+
+def enable_caches() -> None:
+    _state.enabled = True
+
+
+def disable_caches() -> None:
+    """Fall back to the original recompute-everything code paths
+    (current thread only — see :func:`caches_enabled`)."""
+    _state.enabled = False
+
+
+@contextmanager
+def use_caches(enabled: bool = True):
+    """Temporarily enable or disable the engine caches (current thread)."""
+    previous = caches_enabled()
+    _state.enabled = enabled
+    try:
+        yield
+    finally:
+        _state.enabled = previous
+
+
+class SGCache:
+    """All memoized analysis results of one state graph."""
+
+    __slots__ = (
+        "provenance",
+        "conflicts",
+        "code_groups",
+        "er_bricks",
+        "region_bricks",
+        "brick_lists",
+        "adjacency",
+        "extras",
+    )
+
+    def __init__(self) -> None:
+        # (weakref-to-parent_sg, partition, signal) when this graph was
+        # produced by repro.core.insertion.insert_signal, else None.  The
+        # parent is held weakly so long insertion chains are collectable:
+        # while the solver works on the child the parent is still
+        # strongly referenced (it is the solver's current graph), which
+        # is exactly the window in which incremental re-analysis and
+        # brick carry-over read it; afterwards a dead reference simply
+        # falls back to recomputation.
+        self.provenance: Optional[Tuple["weakref.ref", object, str]] = None
+        self.conflicts: Optional[list] = None
+        self.code_groups: Optional[Dict[tuple, list]] = None
+        self.er_bricks: Dict[object, List[Brick]] = {}
+        self.region_bricks: Dict[Tuple[object, int], List[Brick]] = {}
+        self.brick_lists: Dict[Tuple[str, int], List[Brick]] = {}
+        self.adjacency: Dict[Tuple[str, int], Dict[int, Set[int]]] = {}
+        self.extras: Dict[object, object] = {}
+
+
+def get_cache(sg) -> SGCache:
+    """The cache attached to ``sg`` (created on first use)."""
+    cache = sg.__dict__.get(_CACHE_ATTR)
+    if cache is None:
+        cache = SGCache()
+        sg.__dict__[_CACHE_ATTR] = cache
+    return cache
+
+
+def peek_cache(sg) -> Optional[SGCache]:
+    return sg.__dict__.get(_CACHE_ATTR)
+
+
+def invalidate_caches(sg) -> None:
+    """Drop every cached analysis result of ``sg``."""
+    sg.__dict__.pop(_CACHE_ATTR, None)
+
+
+def note_insertion(parent_sg, new_sg, partition, signal: str) -> None:
+    """Record that ``new_sg`` was produced by inserting ``signal`` into
+    ``parent_sg`` along ``partition``.
+
+    Called by :func:`repro.core.insertion.insert_signal`.  The provenance
+    drives incremental CSC re-analysis and lazy brick carry-over; it is
+    recorded cheaply here and only exploited when (and if) the expanded
+    graph is analysed.
+    """
+    if not caches_enabled():
+        return
+    get_cache(new_sg).provenance = (weakref.ref(parent_sg), partition, signal)
+
+
+def provenance_parent(cache: "SGCache"):
+    """``(parent_sg, partition)`` of a graph's provenance, or ``None``
+    when there is no provenance or the parent has been collected."""
+    if cache.provenance is None:
+        return None
+    parent_ref, partition, _signal = cache.provenance
+    parent = parent_ref()
+    if parent is None:
+        return None
+    return parent, partition
+
+
+# ----------------------------------------------------------------------
+# brick decomposition
+# ----------------------------------------------------------------------
+def _carried_bricks(sg, bricks: List[Brick], partition) -> Optional[List[Brick]]:
+    """Map a parent-graph brick list into ``sg``, or ``None`` if touched.
+
+    A brick list survives the insertion untouched when none of its states
+    lies in ``ER(x+)`` / ``ER(x-)``: every remaining state ``s`` appears
+    in the expanded graph exactly once, as ``(s, 0)`` (``s in S0``) or
+    ``(s, 1)`` (``s in S1``), and the subgraph induced on those states is
+    replayed unchanged, so the mapped sets are the bricks the expanded
+    graph would compute for the same event.
+    """
+    splus = partition.splus
+    sminus = partition.sminus
+    s0 = partition.s0
+    mapped: List[Brick] = []
+    has_state = sg.ts.has_state
+    for brick in bricks:
+        new_brick = []
+        for state in brick:
+            if state in splus or state in sminus:
+                return None
+            new_state = (state, 0) if state in s0 else (state, 1)
+            if not has_state(new_state):
+                # Defensive: every stable-side state stays reachable at
+                # its canonical value; if that invariant ever fails we
+                # recompute rather than serve a wrong cache entry.
+                return None
+            new_brick.append(new_state)
+        mapped.append(frozenset(new_brick))
+    return mapped
+
+
+def _er_bricks_for(sg, cache: SGCache, event) -> List[Brick]:
+    bricks = cache.er_bricks.get(event)
+    if bricks is not None:
+        return bricks
+    parent_info = provenance_parent(cache)
+    if parent_info is not None:
+        parent_sg, partition = parent_info
+        parent_cache = peek_cache(parent_sg)
+        if parent_cache is not None:
+            parent_entry = parent_cache.er_bricks.get(event)
+            if parent_entry is not None:
+                mapped = _carried_bricks(sg, parent_entry, partition)
+                if mapped is not None:
+                    cache.er_bricks[event] = mapped
+                    return mapped
+    bricks = excitation_regions(sg.ts, event)
+    cache.er_bricks[event] = bricks
+    return bricks
+
+
+def _region_bricks_for(sg, cache: SGCache, event, max_explored: int) -> List[Brick]:
+    key = (event, max_explored)
+    bricks = cache.region_bricks.get(key)
+    if bricks is not None:
+        return bricks
+    parent_info = provenance_parent(cache) if CARRY_REGION_BRICKS else None
+    if parent_info is not None:
+        parent_sg, partition = parent_info
+        parent_cache = peek_cache(parent_sg)
+        if parent_cache is not None:
+            parent_entry = parent_cache.region_bricks.get(key)
+            if parent_entry is not None:
+                mapped = _carried_bricks(sg, parent_entry, partition)
+                if mapped is not None:
+                    cache.region_bricks[key] = mapped
+                    return mapped
+    bricks = event_region_bricks(sg.ts, event, max_explored=max_explored)
+    cache.region_bricks[key] = bricks
+    return bricks
+
+
+def get_bricks(sg, mode: str = "regions", max_explored: int = 20000) -> List[Brick]:
+    """Brick decomposition of ``sg`` (cached per ``(mode, budget)``).
+
+    Produces exactly what :func:`repro.core.bricks.compute_bricks` would,
+    assembling the per-event cache entries (carried over from the parent
+    graph where the insertion did not touch them) and recomputing only
+    the invalidated ones.
+    """
+    if not caches_enabled():
+        return compute_bricks(sg.ts, mode=mode, max_explored=max_explored)
+    cache = get_cache(sg)
+    key = (mode, max_explored)
+    bricks = cache.brick_lists.get(key)
+    if bricks is not None:
+        return bricks
+    if mode == "states":
+        bricks = compute_bricks(sg.ts, mode="states", max_explored=max_explored)
+    elif mode in ("excitation", "regions"):
+        collected: List[Brick] = []
+        for event in stable_sorted(sg.ts.events):
+            collected.extend(_er_bricks_for(sg, cache, event))
+        if mode == "regions":
+            for event in stable_sorted(sg.ts.events):
+                collected.extend(_region_bricks_for(sg, cache, event, max_explored))
+        bricks = deduplicate_bricks(collected)
+    else:
+        raise ValueError(f"unknown brick mode: {mode!r}")
+    cache.brick_lists[key] = bricks
+    return bricks
+
+
+def get_adjacency(sg, mode: str = "regions", max_explored: int = 20000) -> Dict[int, Set[int]]:
+    """Brick adjacency for :func:`get_bricks` (cached per ``(mode, budget)``)."""
+    if not caches_enabled():
+        return brick_adjacency(sg.ts, compute_bricks(sg.ts, mode=mode, max_explored=max_explored))
+    cache = get_cache(sg)
+    key = (mode, max_explored)
+    adjacency = cache.adjacency.get(key)
+    if adjacency is None:
+        adjacency = brick_adjacency(sg.ts, get_bricks(sg, mode, max_explored))
+        cache.adjacency[key] = adjacency
+    return adjacency

@@ -190,6 +190,19 @@ class StateGraph:
     # ------------------------------------------------------------------
     # manipulation
     # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the engine cache.
+
+        :mod:`repro.engine.caches` attaches memoized analysis results
+        (bricks, conflict lists, the indexed search view) to the instance
+        under ``_repro_cache``; they are derived data, can reference the
+        parent graph of an insertion chain, and must not travel to the
+        worker processes of the batch engine.
+        """
+        state = dict(self.__dict__)
+        state.pop("_repro_cache", None)
+        return state
+
     def copy(self) -> "StateGraph":
         return StateGraph(
             self.ts.copy(),

@@ -1,12 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The suite is seed-stable: ``pytest_configure`` seeds the ``random``
+module from the ``--repro-seed`` option (defined in the repository-root
+``conftest.py``) and pins hypothesis to a derandomized profile, so every
+runner of the CI matrix generates the same examples and the run is
+deterministic end to end.
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.bench_stg import generators as gen
 from repro.stg.state_graph import build_state_graph
 from repro.ts.transition_system import TransitionSystem
+
+
+def pytest_configure(config):
+    random.seed(config.getoption("--repro-seed"))
+    hypothesis_settings.register_profile("repro", derandomize=True)
+    hypothesis_settings.load_profile("repro")
 
 
 @pytest.fixture
