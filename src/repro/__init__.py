@@ -37,7 +37,10 @@ from repro.petri import PetriNet, build_reachability_graph
 from repro.petri.synthesis import synthesize_net, synthesize_stg
 from repro.ts import TransitionSystem
 
-__version__ = "1.0.0"
+# The single source of the package version: pyproject.toml reads it via
+# ``[tool.setuptools.dynamic]`` and the CLI exposes it as ``pyetrify
+# --version``, so this constant is the only place it is ever bumped.
+__version__ = "0.3.0"
 
 __all__ = [
     "EncodingReport",

@@ -16,6 +16,12 @@ insertions, block cost evaluations are memoized per search, and CSC
 conflicts are re-analysed incrementally after every insertion.  The
 caches never change results; ``repro.engine.disable_caches()`` restores
 the recompute-everything behaviour.
+
+For long-running deployments, :class:`EncodingService`
+(:mod:`repro.service`) layers a durable job queue, a content-addressed
+persistent result store and a worker pool over ``encode_many``; the HTTP
+front end in :mod:`repro.service.http` (``pyetrify serve``) exposes it
+over the network.
 """
 
 from __future__ import annotations
@@ -34,12 +40,23 @@ from repro.utils.timing import Stopwatch
 
 __all__ = [
     "EncodingReport",
+    "EncodingService",
     "analyze_stg",
     "encode_stg",
     "encode_many",
     "BatchItem",
     "BatchResult",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the service tier pulls in sqlite3/http plumbing that plain
+    # library users of encode_stg/encode_many never need.
+    if name == "EncodingService":
+        from repro.service import EncodingService
+
+        return EncodingService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

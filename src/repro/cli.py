@@ -1,12 +1,16 @@
 """Command-line front end (``pyetrify``).
 
-Three sub-commands mirror the workflow of the original tool:
+Four sub-commands mirror the workflow of the original tool plus the
+service tier grown on top of it:
 
 * ``info FILE.g``  — size, consistency and CSC statistics of an STG;
 * ``solve FILE.g`` — insert state signals until CSC holds, report the
   inserted signals and the logic estimate, optionally write the encoded
   specification back as a ``.g`` file;
-* ``bench NAME``   — run a named benchmark from the built-in library.
+* ``bench NAME``   — run a named benchmark from the built-in library;
+* ``serve``        — run the encoding service: a durable job queue, a
+  content-addressed result store and a JSON HTTP API over the batch
+  engine (``pyetrify serve --port 8080 --jobs 4 --store service.db``).
 
 ``bench --all`` runs the whole library as a batch through the encoding
 engine: ``--jobs N`` encodes N benchmarks concurrently in worker
@@ -121,9 +125,13 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
         enlarge_concurrency=args.enlarge_concurrency,
         verbose=args.verbose,
         max_states=args.max_states,
+        timeout=args.timeout,
     )
     name_width = max((len(item.name) for item in result.items), default=4)
     for item in result.items:
+        if item.status == "timeout":
+            print(f"{item.name:<{name_width}}  TIMEOUT after {item.seconds:.2f}s")
+            continue
         if item.error is not None:
             print(f"{item.name:<{name_width}}  ERROR: {item.error}")
             continue
@@ -147,14 +155,55 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
             return 2
         print(f"batch record written to {args.json}")
     # "Unsolved" is a legitimate benchmark outcome (some strict-mode cases
-    # have no input-preserving solution); only per-item crashes fail the run.
-    return 0 if all(item.error is None for item in result.items) else 2
+    # have no input-preserving solution), and so is a requested timeout;
+    # only per-item crashes fail the run.
+    return 0 if all(item.status != "error" for item in result.items) else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the encoding service (``pyetrify serve``).
+
+    Boots :class:`repro.service.EncodingService` on the sqlite store at
+    ``--store`` (jobs and results survive restarts) and serves the JSON
+    HTTP API of :mod:`repro.service.http` until interrupted.
+    """
+    from repro.service import EncodingService
+    from repro.service.http import serve as bind_server
+
+    service = EncodingService(
+        args.store,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        max_entries=args.max_entries,
+    )
+    try:
+        server = bind_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        service.close()
+        return 2
+    host, port = server.server_address[:2]
+    print(f"pyetrify service listening on http://{host}:{port} (store: {args.store})")
+    print("endpoints: POST /jobs, GET /jobs/{id}, GET /results/{fp}, GET /healthz, GET /stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="pyetrify",
         description="Region-based state encoding for asynchronous circuits (DAC'96 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -191,8 +240,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=1, help="worker processes for --all (results identical to serial)")
     bench.add_argument("--smallest", type=int, default=None, metavar="K", help="with --all: keep only the K smallest STGs")
     bench.add_argument("--json", default=None, metavar="FILE", help="with --all: write the batch record as JSON")
+    bench.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="with --all: per-benchmark wall-clock bound (timed-out cases report status=timeout)")
     add_common(bench)
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = subparsers.add_parser("serve", help="run the encoding service (job queue + result store + HTTP API)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="TCP port (0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=1, help="worker-pool width (process workers per batch)")
+    serve.add_argument("--store", default="pyetrify-service.db", metavar="PATH", help="sqlite file holding jobs and results (survives restarts)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
+    serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.engine import caches as engine_caches
 from repro.stg.signals import SignalEdge, SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.transition_system import TransitionSystem
+from repro.utils.deadline import check_deadline
 
 State = Hashable
 
@@ -101,6 +102,7 @@ def insert_signal(
     """
     if signal in sg.signals:
         raise ValueError(f"signal {signal!r} already exists in the state graph")
+    check_deadline()  # replaying O(states x edges) transitions below; bail early on timeout
     covered = partition.all_states
     for state in sg.states:
         if state not in covered:

@@ -26,6 +26,7 @@ from repro.engine import indexing
 from repro.stg.signals import SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import is_event_persistent
+from repro.utils.deadline import check_deadline
 
 State = Hashable
 Brick = FrozenSet[State]
@@ -175,6 +176,7 @@ def _find_insertion_plan_legacy(
     for _iteration in range(settings.max_search_iterations):
         new_frontier: List[_BlockCandidate] = []
         for candidate in frontier:
+            check_deadline()
             neighbour_indices: Set[int] = set()
             for brick_index in candidate.brick_indices:
                 neighbour_indices.update(adjacency[brick_index])
@@ -215,6 +217,7 @@ def _find_insertion_plan_legacy(
     }
     examined = 0
     for candidate in ranked:
+        check_deadline()
         if examined >= settings.max_validity_checks:
             break
         if not settings.allow_input_delay and candidate.cost.input_delays > 0:
@@ -325,6 +328,7 @@ def _find_insertion_plan_indexed(
     for _iteration in range(settings.max_search_iterations):
         new_frontier: List[_IndexedCandidate] = []
         for candidate in frontier:
+            check_deadline()
             neighbour_indices: Set[int] = set()
             for brick_index in candidate.brick_indices:
                 neighbour_indices.update(adjacency[brick_index])
@@ -362,6 +366,7 @@ def _find_insertion_plan_indexed(
     }
     examined = 0
     for candidate in ranked:
+        check_deadline()
         if examined >= settings.max_validity_checks:
             break
         if not settings.allow_input_delay and candidate.cost.input_delays > 0:

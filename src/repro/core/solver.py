@@ -17,6 +17,7 @@ from repro.core.cost import Cost
 from repro.core.csc import csc_conflicts
 from repro.core.search import InsertionPlan, SearchSettings, find_insertion_plan
 from repro.stg.state_graph import StateGraph
+from repro.utils.deadline import check_deadline
 from repro.utils.timing import Stopwatch
 
 
@@ -127,6 +128,7 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
 
     current = sg
     for counter in range(settings.max_signals):
+        check_deadline()  # per-job wall-clock bound (repro.utils.deadline)
         # With the engine caches enabled this is free after the first
         # iteration: the expanded graph's conflicts were already derived
         # incrementally (from its parent's code groups) when the search

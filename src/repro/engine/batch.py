@@ -24,12 +24,19 @@ from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
 from repro.core.solver import SolverSettings
 from repro.engine.caches import use_caches
 from repro.stg.stg import STG
+from repro.utils.deadline import DeadlineExceeded, deadline
 from repro.utils.timing import Stopwatch
 
 
 @dataclass
 class BatchItem:
-    """Outcome of encoding one STG (JSON-serialisable throughout)."""
+    """Outcome of encoding one STG (JSON-serialisable throughout).
+
+    ``status`` is ``"ok"`` for a completed encoding (solved or provably
+    unsolvable within the settings), ``"timeout"`` when the per-job
+    wall-clock bound of :func:`encode_many` expired, and ``"error"`` when
+    the worker raised.
+    """
 
     name: str
     solved: bool = False
@@ -37,12 +44,13 @@ class BatchItem:
     table_row: Dict[str, object] = field(default_factory=dict)
     seconds: float = 0.0
     error: Optional[str] = None
+    status: str = "ok"
 
     def fingerprint(self) -> Dict[str, object]:
         """Result identity minus timing (for serial-vs-parallel checks)."""
         flat = {key: value for key, value in self.summary.items() if key != "cpu_seconds"}
         row = {key: value for key, value in self.table_row.items() if key != "cpu"}
-        return {"summary": flat, "table_row": row, "error": self.error}
+        return {"summary": flat, "table_row": row, "error": self.error, "status": self.status}
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -52,6 +60,7 @@ class BatchItem:
             "table_row": self.table_row,
             "seconds": round(self.seconds, 3),
             "error": self.error,
+            "status": self.status,
         }
 
 
@@ -89,19 +98,27 @@ def _encode_one(payload) -> BatchItem:
     everything the worker needs (the cache switch included, so a
     cache-disabled baseline run stays cache-free inside the workers).
     """
-    stg, settings, estimate_logic, max_states, caches_on = payload
+    stg, settings, estimate_logic, max_states, caches_on, timeout = payload
     from repro.api import encode_stg  # deferred: repro.api imports this package
 
+    watch = Stopwatch().start()
     try:
-        with use_caches(caches_on):
+        with use_caches(caches_on), deadline(timeout):
             report = encode_stg(
                 stg,
                 settings=settings,
                 estimate_logic=estimate_logic,
                 max_states=max_states,
             )
+    except DeadlineExceeded:
+        return BatchItem(
+            name=stg.name,
+            seconds=watch.stop(),
+            error=f"wall-clock timeout after {timeout}s",
+            status="timeout",
+        )
     except Exception as error:  # pragma: no cover - defensive per-item isolation
-        return BatchItem(name=stg.name, error=f"{type(error).__name__}: {error}")
+        return BatchItem(name=stg.name, error=f"{type(error).__name__}: {error}", status="error")
     return BatchItem(
         name=stg.name,
         solved=report.solved,
@@ -118,6 +135,7 @@ def encode_many(
     estimate_logic: bool = True,
     max_states: Optional[int] = None,
     caches_on: bool = True,
+    timeout: Optional[float] = None,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
 
@@ -139,6 +157,13 @@ def encode_many(
         Engine-cache switch forwarded into the workers; disabling it
         yields the legacy recompute-everything behaviour (used as the
         baseline by ``benchmarks/bench_batch_engine.py``).
+    timeout:
+        Per-job wall-clock bound in seconds (``None`` = unbounded).  The
+        solver's hot loops poll a cooperative deadline
+        (:mod:`repro.utils.deadline`); a job that exceeds it comes back
+        as ``status="timeout"`` instead of hanging its worker, so one
+        pathological STG cannot stall a whole batch.  The bound applies
+        per item, not to the batch as a whole.
     """
     stgs = list(stgs)
     if isinstance(settings, SolverSettings) or settings is None:
@@ -151,7 +176,7 @@ def encode_many(
                 "pass one SolverSettings or one per STG"
             )
     payloads = [
-        (stg, case_settings, estimate_logic, max_states, caches_on)
+        (stg, case_settings, estimate_logic, max_states, caches_on, timeout)
         for stg, case_settings in zip(stgs, per_stg)
     ]
 
@@ -213,6 +238,7 @@ def run_benchmark_suite(
     verbose: bool = False,
     max_states: Optional[int] = 200000,
     caches_on: bool = True,
+    timeout: Optional[float] = None,
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
 
@@ -242,5 +268,10 @@ def run_benchmark_suite(
             case_settings.verbose = True
         settings.append(case_settings)
     return encode_many(
-        stgs, settings=settings, jobs=jobs, max_states=max_states, caches_on=caches_on
+        stgs,
+        settings=settings,
+        jobs=jobs,
+        max_states=max_states,
+        caches_on=caches_on,
+        timeout=timeout,
     )

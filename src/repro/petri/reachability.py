@@ -15,6 +15,7 @@ from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.petri.net import Marking, PetriNet
 from repro.ts.transition_system import TransitionSystem
+from repro.utils.deadline import check_deadline
 
 
 class StateSpaceLimitExceeded(RuntimeError):
@@ -60,6 +61,7 @@ def build_reachability_graph(
     deadlocks: List[Marking] = []
 
     while frontier:
+        check_deadline()  # per-job wall-clock bound (repro.utils.deadline)
         marking = frontier.popleft()
         enabled = net.enabled_transitions(marking)
         if not enabled:

@@ -1,0 +1,236 @@
+"""The encoding service: jobs, content-addressed results, HTTP API.
+
+This package turns the batch engine into a long-running service tier:
+
+* :mod:`repro.service.fingerprint` — canonical content-addressing of
+  ``(STG, SolverSettings, max_states)`` requests, so identical
+  submissions dedupe to one stored result;
+* :mod:`repro.service.store` — a persistent sqlite result store with
+  hit/miss/evict accounting, keyed by fingerprint, surviving restarts;
+* :mod:`repro.service.queue` — a durable FIFO job queue with
+  pending/running/done/failed/timeout states and retry-once semantics;
+* :mod:`repro.service.workers` — a worker pool draining the queue
+  through :func:`repro.engine.batch.encode_many` under per-job
+  wall-clock timeouts;
+* :mod:`repro.service.http` — a stdlib JSON HTTP API over all of it
+  (``pyetrify serve``).
+
+:class:`EncodingService` is the facade gluing the layers together; it is
+re-exported as :class:`repro.api.EncodingService`.
+
+Typical in-process use::
+
+    from repro.api import EncodingService
+    from repro.stg.parser import read_g_file
+
+    with EncodingService("service.db") as svc:
+        outcome = svc.submit(read_g_file("controller.g"))
+        payload = svc.wait(outcome["fingerprint"], timeout=60)
+        print(payload["summary"]["inserted"])
+
+Everything is stdlib-only (sqlite3, http.server, threading); there is no
+new dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.core.solver import SolverSettings
+from repro.service.fingerprint import (
+    canonical_request,
+    canonical_settings,
+    request_fingerprint,
+    settings_from_dict,
+)
+from repro.service.queue import FINAL_STATUSES, JobQueue, JobRecord
+from repro.service.store import ResultStore
+from repro.service.workers import WorkerPool
+from repro.stg.stg import STG
+from repro.stg.writer import stg_to_g_text
+
+__all__ = [
+    "EncodingService",
+    "ResultStore",
+    "JobQueue",
+    "JobRecord",
+    "WorkerPool",
+    "canonical_request",
+    "canonical_settings",
+    "request_fingerprint",
+    "settings_from_dict",
+]
+
+
+class EncodingService:
+    """Facade over store + queue + worker pool (one sqlite file for all).
+
+    Parameters
+    ----------
+    store_path:
+        Path of the sqlite database holding both the ``results`` and the
+        ``jobs`` tables.  Reopening the same path after a restart serves
+        previously stored results and recovers interrupted jobs.
+    jobs:
+        Worker-pool width (see :class:`repro.service.workers.WorkerPool`).
+    timeout:
+        Per-job wall-clock bound in seconds, ``None`` = unbounded.
+    max_entries:
+        Optional LRU bound on the result store.
+    autostart:
+        Start the worker pool immediately (default).  Pass ``False`` to
+        inspect queue contents without draining them.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        poll_interval: float = 0.05,
+        autostart: bool = True,
+    ) -> None:
+        self.store = ResultStore(store_path, max_entries=max_entries)
+        self.queue = JobQueue(store_path)
+        self.recovered_jobs = self.queue.recover()
+        self.pool = WorkerPool(
+            self.queue, self.store, jobs=jobs, timeout=timeout, poll_interval=poll_interval
+        )
+        self._started_at = time.time()
+        if autostart:
+            self.pool.start()
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        stg: STG,
+        settings: Optional[SolverSettings] = None,
+        max_states: Optional[int] = 200000,
+    ) -> Dict[str, object]:
+        """Submit one encoding request; dedupes against the result store.
+
+        Returns a JSON-serialisable outcome: ``{"fingerprint", "status",
+        "cached", "job_id", "result"}``.  A store hit answers instantly
+        (``cached=True``, ``status="done"``, the payload embedded); a
+        miss enqueues a durable job (``status="pending"``) — or coalesces
+        onto an already active job for the same fingerprint.
+
+        ``max_states`` defaults to 200000 on every service surface (this
+        facade, the HTTP API, ``submit_benchmark``) so the same logical
+        request content-addresses identically no matter how it arrives;
+        pass ``None`` explicitly for an unbounded state graph.
+        """
+        fingerprint = request_fingerprint(stg, settings=settings, max_states=max_states)
+        payload = self.store.get(fingerprint)
+        if payload is not None:
+            return {
+                "fingerprint": fingerprint,
+                "status": "done",
+                "cached": True,
+                "job_id": None,
+                "result": payload,
+            }
+        request = {
+            "g": stg_to_g_text(stg),
+            "settings": canonical_settings(settings),
+            "max_states": max_states,
+        }
+        job_id = self.queue.submit(fingerprint, stg.name, request)
+        return {
+            "fingerprint": fingerprint,
+            "status": "pending",
+            "cached": False,
+            "job_id": job_id,
+            "result": None,
+        }
+
+    def submit_benchmark(
+        self,
+        name: str,
+        table: str = "table2",
+        settings: Optional[SolverSettings] = None,
+        max_states: Optional[int] = 200000,
+    ) -> Dict[str, object]:
+        """Submit a named library benchmark.
+
+        Without explicit ``settings`` the case's own library settings are
+        used (frontier width 16, relaxed cases with ``allow_input_delay``)
+        — the same regime as ``pyetrify bench``.
+        """
+        from repro.bench_stg.library import get_case
+
+        case = get_case(name, table=table)
+        if settings is None:
+            settings = case.solver_settings()
+        return self.submit(case.build(), settings=settings, max_states=max_states)
+
+    # -- retrieval ------------------------------------------------------
+    def result(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The stored payload for a fingerprint (counts hit/miss)."""
+        return self.store.get(fingerprint)
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        return self.queue.get(job_id)
+
+    def wait(self, fingerprint: str, timeout: float = 60.0) -> Dict[str, object]:
+        """Block until the result for ``fingerprint`` is stored.
+
+        Polls without skewing the hit/miss accounting.  Raises
+        :class:`RuntimeError` if the job reached a final non-``done``
+        state — or finished ``done`` but its result has since been
+        LRU-evicted from a ``max_entries``-bounded store (waiting longer
+        cannot bring it back; resubmit instead) — and
+        :class:`TimeoutError` if nothing happened in time.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            payload = self.store.peek(fingerprint)
+            if payload is not None:
+                return payload
+            job = self.queue.job_for_fingerprint(fingerprint)
+            if job is not None and job.status in FINAL_STATUSES:
+                if job.status != "done":
+                    raise RuntimeError(
+                        f"job for {fingerprint[:12]}… finished as {job.status}: {job.error}"
+                    )
+                # The worker writes the store before marking done, so a
+                # fresh peek after observing "done" is authoritative:
+                # still absent means the result was evicted since.
+                payload = self.store.peek(fingerprint)
+                if payload is not None:
+                    return payload
+                raise RuntimeError(
+                    f"result for {fingerprint[:12]}… was evicted from the store; resubmit"
+                )
+            time.sleep(0.01)
+        raise TimeoutError(f"no result for {fingerprint[:12]}… within {timeout}s")
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Queue depth, per-status counts, worker and store statistics."""
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "queue": {"depth": self.queue.depth(), "by_status": self.queue.counts()},
+            "workers": self.pool.stats(),
+            "store": self.store.stats(),
+            "recovered_jobs": self.recovered_jobs,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and close the database connections."""
+        if self.pool.running:
+            self.pool.stop()
+        self.queue.close()
+        self.store.close()
+
+    def __enter__(self) -> "EncodingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

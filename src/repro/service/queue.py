@@ -1,0 +1,285 @@
+"""Durable FIFO job queue for the encoding service.
+
+Jobs live in a sqlite table (by default in the same database file as the
+result store), so a queue survives restarts: pending jobs submitted
+before a shutdown are still claimable after reopening, and jobs that were
+mid-flight when the process died are recovered back to ``pending`` by
+:meth:`JobQueue.recover` on startup.
+
+Lifecycle::
+
+    pending --claim--> running --finish--> done
+                          |                failed   (after retry)
+                          |                timeout  (after retry)
+                          +--retry-once--> pending
+
+``finish`` implements retry-once semantics: the first non-``done``
+completion of a job re-queues it (status back to ``pending``, error
+recorded); the second makes the failure final.  Claiming is strictly
+FIFO by submission order.
+
+Each job carries a self-contained JSON request (``.g`` text, settings
+dictionary, ``max_states``) so it can be re-run after a restart without
+any in-memory state, plus the request fingerprint linking it to the
+result store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["JobQueue", "JobRecord", "ACTIVE_STATUSES", "FINAL_STATUSES"]
+
+#: Statuses of jobs still owned by the queue/pool.
+ACTIVE_STATUSES = ("pending", "running")
+#: Terminal statuses.
+FINAL_STATUSES = ("done", "failed", "timeout")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    id           TEXT UNIQUE NOT NULL,
+    fingerprint  TEXT NOT NULL,
+    name         TEXT NOT NULL,
+    request      TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    error        TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status, seq);
+CREATE INDEX IF NOT EXISTS idx_jobs_fingerprint ON jobs(fingerprint, seq);
+"""
+
+_COLUMNS = (
+    "id, fingerprint, name, request, status, attempts, "
+    "submitted_at, started_at, finished_at, error"
+)
+
+
+@dataclass
+class JobRecord:
+    """One job as stored in the queue (JSON-serialisable via ``as_dict``)."""
+
+    id: str
+    fingerprint: str
+    name: str
+    request: Dict[str, object]
+    status: str
+    attempts: int
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+def _record(row) -> JobRecord:
+    return JobRecord(
+        id=row[0],
+        fingerprint=row[1],
+        name=row[2],
+        request=json.loads(row[3]),
+        status=row[4],
+        attempts=int(row[5]),
+        submitted_at=row[6],
+        started_at=row[7],
+        finished_at=row[8],
+        error=row[9],
+    )
+
+
+class JobQueue:
+    """Durable FIFO queue of encoding jobs (see module docstring)."""
+
+    def __init__(self, path: str, max_attempts: int = 2) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.path = path
+        self.max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False, timeout=30.0)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self, fingerprint: str, name: str, request: Dict[str, object]
+    ) -> str:
+        """Enqueue a job; returns its id.
+
+        Submissions coalesce on the fingerprint: if a job for the same
+        request is already pending or running, its id is returned and no
+        new row is created — concurrent duplicate submissions share one
+        encoding run.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs "
+                "WHERE fingerprint = ? AND status IN ('pending', 'running') "
+                "ORDER BY seq ASC LIMIT 1",
+                (fingerprint,),
+            ).fetchone()
+            if row is not None:
+                return row[0]
+            job_id = uuid.uuid4().hex
+            self._conn.execute(
+                "INSERT INTO jobs(id, fingerprint, name, request, status, submitted_at) "
+                "VALUES(?, ?, ?, ?, 'pending', ?)",
+                (job_id, fingerprint, name, json.dumps(request, sort_keys=True), time.time()),
+            )
+            self._conn.commit()
+            return job_id
+
+    # -- claiming -------------------------------------------------------
+    def claim(self, limit: int = 1) -> List[JobRecord]:
+        """Atomically move up to ``limit`` oldest pending jobs to running."""
+        claimed: List[JobRecord] = []
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE status = 'pending' "
+                "ORDER BY seq ASC LIMIT ?",
+                (max(0, limit),),
+            ).fetchall()
+            now = time.time()
+            for row in rows:
+                self._conn.execute(
+                    "UPDATE jobs SET status = 'running', attempts = attempts + 1, "
+                    "started_at = ? WHERE id = ?",
+                    (now, row[0]),
+                )
+                record = _record(row)
+                record.status = "running"
+                record.attempts += 1
+                record.started_at = now
+                claimed.append(record)
+            if rows:
+                self._conn.commit()
+        return claimed
+
+    # -- completion -----------------------------------------------------
+    def finish(self, job_id: str, status: str, error: Optional[str] = None) -> str:
+        """Record the outcome of a claimed job; returns the stored status.
+
+        ``status="done"`` is always final.  A ``"failed"`` or
+        ``"timeout"`` outcome re-queues the job as ``pending`` while it
+        has attempts left (retry-once with the default ``max_attempts=2``)
+        and only then becomes final.
+        """
+        if status not in FINAL_STATUSES:
+            raise ValueError(f"finish() takes a final status, got {status!r}")
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT attempts, status FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job id {job_id!r}")
+            attempts, current = int(row[0]), row[1]
+            if current != "running":
+                raise ValueError(f"job {job_id!r} is {current!r}, not running")
+            if status != "done" and attempts < self.max_attempts:
+                stored = "pending"
+                self._conn.execute(
+                    "UPDATE jobs SET status = 'pending', error = ? WHERE id = ?",
+                    (error, job_id),
+                )
+            else:
+                stored = status
+                self._conn.execute(
+                    "UPDATE jobs SET status = ?, error = ?, finished_at = ? WHERE id = ?",
+                    (status, error, time.time(), job_id),
+                )
+            self._conn.commit()
+            return stored
+
+    def recover(self) -> int:
+        """Re-queue jobs left ``running`` by a crashed process.
+
+        Called on service startup; the interrupted attempt still counts
+        against ``max_attempts``, and a job that already used its last
+        attempt is finalised as ``failed`` instead of being re-queued —
+        otherwise a job that *kills* the process (OOM, segfault in a C
+        extension) would crash-loop the service across restarts.
+        Returns the number of jobs put back to ``pending``.
+        """
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET status = 'failed', finished_at = ?, "
+                "error = COALESCE(error, 'process died while the job was running') "
+                "WHERE status = 'running' AND attempts >= ?",
+                (time.time(), self.max_attempts),
+            )
+            cursor = self._conn.execute(
+                "UPDATE jobs SET status = 'pending' WHERE status = 'running'"
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    # -- inspection -----------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return _record(row) if row is not None else None
+
+    def job_for_fingerprint(self, fingerprint: str) -> Optional[JobRecord]:
+        """The most recent job for a fingerprint, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE fingerprint = ? "
+                "ORDER BY seq DESC LIMIT 1",
+                (fingerprint,),
+            ).fetchone()
+        return _record(row) if row is not None else None
+
+    def depth(self) -> int:
+        """Number of pending jobs."""
+        with self._lock:
+            return int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE status = 'pending'"
+                ).fetchone()[0]
+            )
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by status (all statuses present, zeros included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in ACTIVE_STATUSES + FINAL_STATUSES}
+        for status, count in rows:
+            counts[status] = int(count)
+        return counts
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,165 @@
+"""Persistent, content-addressed result store (sqlite3 + JSON payloads).
+
+One row per request fingerprint (:mod:`repro.service.fingerprint`); the
+payload is the JSON-serialisable outcome of the encoding run (the
+``BatchItem.as_dict()`` shape produced by the worker pool).  The store
+survives restarts — a result written before :meth:`ResultStore.close` is
+served after reopening the same path — and keeps hit/miss/evict
+accounting for the ``/stats`` endpoint.
+
+Concurrency: a single sqlite connection guarded by a lock, shared by the
+HTTP handler threads and the worker pool.  Reads that *serve* a result
+(:meth:`get`) count towards the hit rate; reads that merely *poll* for
+one (:meth:`peek`, used by ``GET /jobs/{id}``) do not, so a client
+polling a slow job cannot dilute the cache statistics.
+
+An optional ``max_entries`` bound turns the store into an LRU cache:
+inserting beyond the bound evicts the least-recently-served rows and
+increments the eviction counter.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["ResultStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint  TEXT PRIMARY KEY,
+    name         TEXT NOT NULL,
+    payload      TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    access_seq   INTEGER NOT NULL,
+    access_count INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_results_access ON results(access_seq);
+"""
+
+
+class ResultStore:
+    """Content-addressed persistence for encoding results.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the sqlite database.  The file (and the
+        ``results`` table) is created on first use; the job queue of
+        :mod:`repro.service.queue` shares the same file with its own
+        table.
+    max_entries:
+        Optional LRU bound; ``None`` means unbounded.
+    """
+
+    def __init__(self, path: str, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
+        self.path = path
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False, timeout=30.0)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        row = self._conn.execute("SELECT COALESCE(MAX(access_seq), 0) FROM results").fetchone()
+        self._seq = int(row[0])
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- reads ----------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The payload stored under ``fingerprint``, counting hit/miss.
+
+        A hit also refreshes the row's LRU position and access count.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._seq += 1
+            self._conn.execute(
+                "UPDATE results SET access_seq = ?, access_count = access_count + 1 "
+                "WHERE fingerprint = ?",
+                (self._seq, fingerprint),
+            )
+            self._conn.commit()
+            return json.loads(row[0])
+
+    def peek(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Like :meth:`get` but without touching any accounting."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return int(self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    # -- writes ---------------------------------------------------------
+    def put(self, fingerprint: str, name: str, payload: Dict[str, object]) -> None:
+        """Store (or overwrite) the payload for ``fingerprint``."""
+        blob = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            self._seq += 1
+            self._conn.execute(
+                "INSERT INTO results(fingerprint, name, payload, created_at, access_seq) "
+                "VALUES(?, ?, ?, ?, ?) "
+                "ON CONFLICT(fingerprint) DO UPDATE SET "
+                "payload = excluded.payload, access_seq = excluded.access_seq",
+                (fingerprint, name, blob, time.time(), self._seq),
+            )
+            if self.max_entries is not None:
+                excess = self._conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()[0] - self.max_entries
+                if excess > 0:
+                    victims = self._conn.execute(
+                        "SELECT fingerprint FROM results ORDER BY access_seq ASC LIMIT ?",
+                        (excess,),
+                    ).fetchall()
+                    self._conn.executemany(
+                        "DELETE FROM results WHERE fingerprint = ?", victims
+                    )
+                    self.evictions += len(victims)
+            self._conn.commit()
+
+    # -- accounting -----------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/evict counters (process lifetime) and current size."""
+        lookups = self.hits + self.misses
+        return {
+            "path": self.path,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else None,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,6 +1,15 @@
 """Small shared helpers used across the library."""
 
+from repro.utils.deadline import DeadlineExceeded, check_deadline, deadline, remaining_time
 from repro.utils.ordered import OrderedSet, stable_sorted
 from repro.utils.timing import Stopwatch
 
-__all__ = ["OrderedSet", "stable_sorted", "Stopwatch"]
+__all__ = [
+    "OrderedSet",
+    "stable_sorted",
+    "Stopwatch",
+    "DeadlineExceeded",
+    "check_deadline",
+    "deadline",
+    "remaining_time",
+]

@@ -1,0 +1,76 @@
+"""Cooperative wall-clock deadlines for long-running encoding work.
+
+The CSC solver is pure Python and CPU-bound, so a job cannot be
+interrupted from the outside without killing its process.  Instead the
+hot loops poll a thread-local deadline: :func:`deadline` arms it for the
+dynamic extent of a ``with`` block and :func:`check_deadline` raises
+:class:`DeadlineExceeded` once ``time.monotonic()`` passes it.  Poll
+points sit at coarse, allocation-free spots (one solver iteration, one
+search candidate, one insertion replay), so the overhead is a single
+monotonic-clock read and the latency of a timeout is one candidate
+evaluation, not one whole job.
+
+Deadlines nest: an inner ``deadline(...)`` can only tighten the bound,
+never extend a surrounding one.  Because the state lives in thread-local
+storage the mechanism works in process-pool workers and in the service's
+worker threads alike — no signals, no alarms, no main-thread
+requirement.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["DeadlineExceeded", "deadline", "check_deadline", "remaining_time"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """Raised by :func:`check_deadline` when the armed deadline has passed."""
+
+
+class _DeadlineState(threading.local):
+    def __init__(self) -> None:
+        self.expires_at: Optional[float] = None
+
+
+_STATE = _DeadlineState()
+
+
+@contextmanager
+def deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Arm a wall-clock deadline for the duration of the ``with`` block.
+
+    ``seconds=None`` leaves any surrounding deadline in effect.  Nested
+    deadlines intersect: the effective bound is the earliest one, so a
+    per-job timeout cannot be loosened by an inner call.
+    """
+    previous = _STATE.expires_at
+    if seconds is not None:
+        candidate = time.monotonic() + seconds
+        _STATE.expires_at = candidate if previous is None else min(previous, candidate)
+    try:
+        yield
+    finally:
+        _STATE.expires_at = previous
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the armed deadline has passed.
+
+    A no-op (one attribute read) when no deadline is armed, so hot loops
+    can call it unconditionally.
+    """
+    expires_at = _STATE.expires_at
+    if expires_at is not None and time.monotonic() > expires_at:
+        raise DeadlineExceeded("encoding deadline exceeded")
+
+
+def remaining_time() -> Optional[float]:
+    """Seconds until the armed deadline, or ``None`` when unarmed."""
+    expires_at = _STATE.expires_at
+    if expires_at is None:
+        return None
+    return max(0.0, expires_at - time.monotonic())

@@ -79,3 +79,41 @@ class TestCLI:
     def test_bench_relaxed_flag(self, capsys):
         code = main(["bench", "mod4-counter", "--enlarge-concurrency", "--bricks", "regions"])
         assert code in (0, 2)
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_is_single_sourced(self):
+        # pyproject.toml must defer to repro.__version__ instead of
+        # carrying its own copy (the PR-2 version-skew fix).
+        import pathlib
+
+        import repro
+
+        pyproject = (
+            pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        ).read_text()
+        assert 'dynamic = ["version"]' in pyproject
+        assert 'version = { attr = "repro.__version__" }' in pyproject
+        assert repro.__version__ == "0.3.0"
+
+    def test_bench_all_with_timeout_reports_timeouts(self, capsys):
+        code = main(
+            ["bench", "--all", "--smallest", "2", "--timeout", "1e-9", "--max-states", "500"]
+        )
+        assert code == 0  # timeouts are a legitimate outcome, not a crash
+        output = capsys.readouterr().out
+        assert "TIMEOUT" in output
+
+    def test_serve_rejects_unbindable_port(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--host", "256.256.256.256", "--port", "1",
+             "--store", str(tmp_path / "svc.db")]
+        )
+        assert code == 2
+        assert "cannot bind" in capsys.readouterr().err
