@@ -1,0 +1,92 @@
+"""Bench-regression gate: fail CI when the indexed engine sweep regresses.
+
+Runs the full Table-2 sweep three ways via
+:func:`benchmarks.bench_batch_engine.run_batch_benchmark` (which also
+refreshes ``BENCH_batch.json``) and compares the new *engine serial*
+wall-clock against the committed baseline.
+
+Raw wall-clock comparisons across CI runners would gate on machine
+speed, not on code.  The legacy object-space sweep is frozen code, so it
+serves as the machine-speed yardstick: the gate scales the committed
+engine-serial baseline by ``new_legacy / baseline_legacy`` and fails
+when the new engine-serial time exceeds that expectation by more than
+``--tolerance`` (default 25 %).  It also fails outright when the three
+sweeps stop being byte-identical.
+
+Usage (CI runs exactly this)::
+
+    python benchmarks/check_bench_regression.py --baseline BENCH_batch.json.orig
+
+where the baseline file is a copy of the committed ``BENCH_batch.json``
+taken *before* the run refreshes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="committed BENCH_batch.json to gate against (default: the "
+        "repository copy, read before the sweep refreshes it)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the engine serial sweep "
+        "(default 0.25 = fail on >25%% regression)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or RECORD_PATH
+    baseline = json.loads(baseline_path.read_text())
+    base_engine = float(baseline["engine_serial_seconds"])
+    base_legacy = float(baseline["serial_seconds"])
+
+    record = run_batch_benchmark()
+    new_engine = float(record["engine_serial_seconds"])
+    new_legacy = float(record["serial_seconds"])
+
+    if not record["identical"]:
+        print("FAIL: engine/legacy/parallel sweeps are no longer byte-identical")
+        return 1
+
+    machine_factor = new_legacy / base_legacy
+    expected_engine = base_engine * machine_factor
+    limit = expected_engine * (1.0 + args.tolerance)
+    slowdown = new_engine / expected_engine - 1.0
+
+    print(
+        f"legacy serial: baseline {base_legacy:.2f}s -> now {new_legacy:.2f}s "
+        f"(machine factor {machine_factor:.2f}x)"
+    )
+    print(
+        f"engine serial: baseline {base_engine:.2f}s -> now {new_engine:.2f}s "
+        f"(expected <= {limit:.2f}s at {args.tolerance:.0%} tolerance, "
+        f"drift {slowdown:+.1%})"
+    )
+    print(f"speedup vs legacy: {new_legacy / new_engine:.2f}x; refreshed {RECORD_PATH}")
+
+    if new_engine > limit:
+        print("FAIL: engine serial sweep regressed beyond tolerance")
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,11 @@
 
 The pipeline is:
 
+0. :mod:`repro.core.indexed` interns the state graph into the canonical
+   integer/bitset representation every stage below computes on (states
+   as indices, state sets as int bitmasks, binary codes as packed ints);
+   the object-space implementations remain available behind
+   ``repro.engine.use_caches(False)`` as the differential oracle.
 1. :mod:`repro.core.csc` finds CSC conflicts in a binary-encoded state
    graph.
 2. :mod:`repro.core.regions` / :mod:`repro.core.excitation` /
@@ -45,6 +50,12 @@ from repro.core.ipartition import (
     ipartition_from_block,
     ipartition_violations,
 )
+from repro.core.indexed import (
+    IndexedEvaluator,
+    IndexedStateGraph,
+    indexed_brick_bundle,
+    indexed_state_graph,
+)
 from repro.core.insertion import insert_signal
 from repro.core.sip import (
     InsertionCheck,
@@ -83,6 +94,10 @@ __all__ = [
     "min_wellformed_exit_border",
     "ipartition_from_block",
     "ipartition_violations",
+    "IndexedEvaluator",
+    "IndexedStateGraph",
+    "indexed_brick_bundle",
+    "indexed_state_graph",
     "insert_signal",
     "InsertionCheck",
     "check_insertion",

@@ -19,7 +19,12 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.excitation import excitation_regions
-from repro.core.regions import minimal_postregions, minimal_preregions
+from repro.core.regions import (
+    minimal_postregion_masks,
+    minimal_postregions,
+    minimal_preregion_masks,
+    minimal_preregions,
+)
 from repro.ts.transition_system import TransitionSystem
 from repro.utils.ordered import stable_sorted
 
@@ -62,6 +67,41 @@ def event_region_bricks(
     pre = minimal_preregions(ts, event, max_explored=max_explored)
     post = minimal_postregions(ts, event, max_explored=max_explored)
     return _intersection_closure(pre) + _intersection_closure(post)
+
+
+def _intersection_closure_masks(masks: Sequence[int], max_per_event: int = 64) -> List[int]:
+    """Twin of :func:`_intersection_closure` on bitmasks (one ``&`` per
+    candidate intersection)."""
+    closure: List[int] = list(dict.fromkeys(masks))
+    seen = set(closure)
+    queue = list(closure)
+    while queue and len(closure) < max_per_event:
+        current = queue.pop()
+        for other in list(closure):
+            candidate = current & other
+            if candidate and candidate not in seen:
+                closure.append(candidate)
+                seen.add(candidate)
+                queue.append(candidate)
+                if len(closure) >= max_per_event:
+                    break
+    return closure
+
+
+def event_region_bricks_indexed(isg, event, max_explored: int = 20000) -> List[Brick]:
+    """Indexed twin of :func:`event_region_bricks`.
+
+    Pre/post-regions are expanded and closed under intersection entirely
+    in bitmask space on the :class:`~repro.core.indexed.IndexedStateGraph`;
+    only the final bricks are materialised as object frozensets (the
+    shape the per-event cache of :mod:`repro.engine.caches` stores and
+    carries across insertions).  Byte-identical to the object-space
+    function.
+    """
+    pre = minimal_preregion_masks(isg, event, max_explored=max_explored)
+    post = minimal_postregion_masks(isg, event, max_explored=max_explored)
+    masks = _intersection_closure_masks(pre) + _intersection_closure_masks(post)
+    return [isg.frozenset_of_mask(mask) for mask in masks]
 
 
 def compute_bricks(

@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
 from repro.engine import caches as engine_caches
 from repro.stg.signals import SignalEdge
 from repro.stg.state_graph import StateGraph
+from repro.utils.deadline import poll_deadline
 from repro.utils.ordered import stable_sorted
 
 State = Hashable
@@ -41,13 +42,42 @@ def _states_by_code(sg: StateGraph) -> Dict[Code, List[State]]:
     return groups
 
 
+def _indexed_module():
+    """Deferred import: :mod:`repro.core.indexed` imports the cost model,
+    which imports this module."""
+    from repro.core import indexed
+
+    return indexed
+
+
+def _states_by_code_indexed(sg: StateGraph, isg) -> Dict[Code, List[State]]:
+    """Twin of :func:`_states_by_code` bucketed on packed int codes.
+
+    Hashing one machine int per state instead of one value tuple; the
+    result is re-keyed by the tuple codes (bijective with the packed
+    ones, in identical first-seen order) to keep the public shape.
+    """
+    states = isg.states
+    code_of = sg.code
+    groups: Dict[Code, List[State]] = {}
+    for _packed, members in isg.code_groups_idx().items():
+        first = states[members[0]]
+        groups[code_of(first)] = [states[i] for i in members]
+    return groups
+
+
 def code_groups(sg: StateGraph) -> Dict[Code, List[State]]:
-    """States grouped by binary code (cached per state graph)."""
+    """States grouped by binary code (cached per state graph).
+
+    With the engine caches enabled the grouping runs on the packed
+    integer codes of the graph's
+    :class:`~repro.core.indexed.IndexedStateGraph`."""
     if not engine_caches.caches_enabled():
         return _states_by_code(sg)
     cache = engine_caches.get_cache(sg)
     if cache.code_groups is None:
-        cache.code_groups = _states_by_code(sg)
+        indexed = _indexed_module()
+        cache.code_groups = _states_by_code_indexed(sg, indexed.indexed_state_graph(sg))
     return cache.code_groups
 
 
@@ -119,6 +149,53 @@ def _csc_conflicts_incremental(sg: StateGraph, parent: StateGraph) -> List[CSCCo
     return _conflicts_of_groups(sg, groups)
 
 
+def _csc_conflicts_incremental_indexed(
+    sg: StateGraph, isg, parent_isg
+) -> List[CSCConflict]:
+    """Index-space twin of :func:`_csc_conflicts_incremental`.
+
+    A derived :class:`~repro.core.indexed.IndexedStateGraph` records each
+    state's parent index, so the candidate filter is an integer set
+    lookup (no re-hashing of nested state tuples) and the grouping
+    buckets by the child's packed codes.  Group order and member order
+    follow the child's state order exactly as in the object-space twin,
+    so the produced list is identical.
+    """
+    candidates = parent_isg.shared_code_indices()
+    groups: Dict[int, List[int]] = {}
+    if candidates:
+        codes = isg.codes
+        for i, parent_index in enumerate(isg.parent_positions):
+            if parent_index in candidates:
+                groups.setdefault(codes[i], []).append(i)
+    return _conflicts_of_index_groups(sg, isg, groups)
+
+
+def _conflicts_of_index_groups(
+    sg: StateGraph, isg, groups: Dict[int, List[int]]
+) -> List[CSCConflict]:
+    """Twin of :func:`_conflicts_of_groups` over index-space groups, with
+    enabled-signal signatures memoized on the indexed graph."""
+    conflicts: List[CSCConflict] = []
+    states = isg.states
+    position = isg.position
+    code_of = sg.code
+    for members in groups.values():
+        poll_deadline()
+        if len(members) < 2:
+            continue
+        ordered = stable_sorted(states[i] for i in members)
+        code = code_of(ordered[0])
+        signatures = {
+            state: isg.noninput_signature(position[state]) for state in ordered
+        }
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1 :]:
+                if signatures[first] != signatures[second]:
+                    conflicts.append(CSCConflict(first, second, code))
+    return conflicts
+
+
 def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
     """All CSC conflict pairs of the state graph.
 
@@ -137,12 +214,18 @@ def csc_conflicts(sg: StateGraph) -> List[CSCConflict]:
     cache = engine_caches.get_cache(sg)
     if cache.conflicts is not None:
         return cache.conflicts
-    parent_info = engine_caches.provenance_parent(cache)
-    if parent_info is not None:
-        parent, _partition = parent_info
-        conflicts = _csc_conflicts_incremental(sg, parent)
+    indexed = _indexed_module()
+    isg = indexed.indexed_state_graph(sg)
+    parent_isg = isg.parent_index()
+    if parent_isg is not None and isg.parent_positions is not None:
+        conflicts = _csc_conflicts_incremental_indexed(sg, isg, parent_isg)
     else:
-        conflicts = csc_conflicts_from_scratch(sg)
+        parent_info = engine_caches.provenance_parent(cache)
+        if parent_info is not None:
+            parent, _partition = parent_info
+            conflicts = _csc_conflicts_incremental(sg, parent)
+        else:
+            conflicts = _conflicts_of_index_groups(sg, isg, isg.code_groups_idx())
     cache.conflicts = conflicts
     return conflicts
 

@@ -69,6 +69,44 @@ def excitation_regions_by_event(ts: TransitionSystem) -> Dict[Event, List[Frozen
     return {event: excitation_regions(ts, event) for event in ts.events}
 
 
+# ----------------------------------------------------------------------
+# indexed (bitmask) pipeline
+# ----------------------------------------------------------------------
+#
+# The functions below compute on an
+# :class:`~repro.core.indexed.IndexedStateGraph`: an excitation/switching
+# set is the bitmask union of the event's arc endpoints, and its regions
+# are connected components extracted by bitmask BFS.  They produce
+# exactly the lists of the object-space functions above (same members,
+# same canonical ordering); the object-space path remains the
+# cache-disabled oracle.
+
+def excitation_set_mask(isg, event: Event) -> int:
+    """Bitmask union of the excitation regions of ``event``."""
+    return isg.er_mask(event)
+
+
+def switching_set_mask(isg, event: Event) -> int:
+    """Bitmask union of the switching regions of ``event``."""
+    return isg.sr_mask(event)
+
+
+def excitation_region_masks(isg, event: Event) -> List[int]:
+    """The excitation regions ``ER_j(event)`` as bitmasks (canonical order)."""
+    return isg.components_of_mask(isg.er_mask(event))
+
+
+def switching_region_masks(isg, event: Event) -> List[int]:
+    """The switching regions ``SR_j(event)`` as bitmasks (canonical order)."""
+    return isg.components_of_mask(isg.sr_mask(event))
+
+
+def excitation_regions_indexed(isg, event: Event) -> List[FrozenSet[State]]:
+    """Excitation regions via the indexed pipeline, as object frozensets
+    (byte-identical to :func:`excitation_regions`)."""
+    return [isg.frozenset_of_mask(mask) for mask in excitation_region_masks(isg, event)]
+
+
 def trigger_events(ts: TransitionSystem, region: FrozenSet[State]) -> Set[Event]:
     """Events labelling transitions that *enter* ``region``.
 

@@ -1,0 +1,842 @@
+"""The canonical integer/bitset representation of a state graph.
+
+Every core algorithm of the CSC pipeline — excitation/quiescent region
+computation, CSC conflict detection, brick decomposition, exit-border
+derivation, block cost evaluation — is at heart a sequence of set
+operations over state-graph states.  With states represented by their
+original objects (nested ``(marking, bit)`` tuples after a few
+insertions) those operations are dominated by re-hashing the objects.
+This module makes the *indexed* view the representation the pipeline
+runs on:
+
+* states are interned once into ``0..n-1``; a set of states is a single
+  Python ``int`` bitmask whose bit ``i`` stands for state ``i``;
+* per-state successor/predecessor relations are bitmasks, so reachability
+  closures, connected components and exit borders are loops of ``|``,
+  ``&`` and ``bit_length`` instead of hash-set algebra;
+* binary codes are packed into one ``int`` per state, so CSC conflict
+  detection buckets states by integer key instead of tuple key;
+* the per-signal/per-event structure (arc tables, excitation and
+  switching sets, value bit-vectors) is pre-extracted for the cost model
+  and the region expansion.
+
+An :class:`IndexedStateGraph` is built once per
+:class:`~repro.stg.state_graph.StateGraph` and cached by
+:mod:`repro.engine.caches`; graphs produced by signal insertion derive
+their index from the parent's by index arithmetic
+(:meth:`IndexedStateGraph.derive_child`) instead of re-deriving the
+packed codes from the encoding dictionary.
+
+The object-space implementations in :mod:`repro.core.excitation`,
+:mod:`repro.core.csc`, :mod:`repro.core.bricks`,
+:mod:`repro.core.ipartition` and :mod:`repro.core.cost` are kept intact
+behind ``use_caches(False)`` as the differential-testing oracle: the
+indexed pipeline must reproduce them byte for byte
+(``tests/test_indexed_differential.py``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cost import Cost
+from repro.core.ipartition import IPartition
+from repro.engine import caches
+from repro.stg.signals import SignalEdge
+from repro.utils.deadline import poll_deadline
+
+State = Hashable
+Event = Hashable
+
+# side table codes (S0 -> ER(x+) -> S1 -> ER(x-) cycle of the I-partition)
+S0 = 0
+SPLUS = 1
+S1 = 2
+SMINUS = 3
+
+_MISSING = object()
+
+
+def bits_of(mask: int) -> List[int]:
+    """The set bit positions of ``mask`` in ascending order."""
+    indices = []
+    while mask:
+        low = mask & -mask
+        indices.append(low.bit_length() - 1)
+        mask ^= low
+    return indices
+
+
+class IndexedStateGraph:
+    """Interned arrays and bitmask structure of one state graph.
+
+    The constructor performs a single pass over the transition system;
+    everything derived (per-event excitation masks, packed codes, repr
+    sort keys, enabled-signal signatures, the persistent-event set) is
+    computed lazily and memoized on the instance, so a probe graph that
+    is only ever SIP-checked never pays for artifacts the solver did not
+    ask for.
+    """
+
+    __slots__ = (
+        "__weakref__",
+        "states",
+        "position",
+        "num_states",
+        "full_mask",
+        "succ_masks",
+        "und_masks",
+        "succ_events",
+        "succ_maps",
+        "deterministic",
+        "arcs",
+        "signal_ids",
+        "signal_is_input",
+        "signal_positions",
+        "input_signals",
+        "codes",
+        "event_list",
+        "event_arcs",
+        "_event_arc_bits",
+        "parent",
+        "parent_positions",
+        "_er_masks",
+        "_sr_masks",
+        "_state_reprs",
+        "_signatures",
+        "_noninput_event",
+        "_persistent_events",
+        "_succ_targets",
+        "_in_sig_arcs",
+        "_out_sig_arcs",
+        "_s1_template",
+        "_int_code_groups",
+        "_shared_code_indices",
+    )
+
+    def __init__(self, sg, _derive_from: Optional["IndexedStateGraph"] = None) -> None:
+        # Everything the index needs from ``sg`` is snapshotted here: the
+        # instance deliberately holds no reference to the graph, so that
+        # caching the index *on* the graph (repro.engine.caches) does not
+        # create a reference cycle keeping encoded graphs alive until a
+        # generational gc pass.
+        ts = sg.ts
+        states: List[State] = list(ts.states)
+        self.states = states
+        position: Dict[State, int] = {state: i for i, state in enumerate(states)}
+        self.position = position
+        n = len(states)
+        self.num_states = n
+        self.full_mask = (1 << n) - 1
+
+        succ_masks: List[int] = [0] * n
+        und_masks: List[int] = [0] * n
+        succ_events: List[List[Tuple[Event, int]]] = []
+        succ_maps: List[Dict[Event, int]] = []
+        arcs: List[Tuple[int, int, int]] = []
+        signal_ids: Dict[str, int] = {}
+        signal_is_input: List[bool] = []
+        event_list: List[Event] = list(ts.events)
+        event_arcs: Dict[Event, List[Tuple[int, int]]] = {e: [] for e in event_list}
+        deterministic = True
+        is_input_signal = sg.is_input_signal
+
+        for i, state in enumerate(states):
+            outgoing: List[Tuple[Event, int]] = []
+            out_map: Dict[Event, int] = {}
+            smask = 0
+            bit_i = 1 << i
+            for event, target in ts.successors(state):
+                j = position[target]
+                outgoing.append((event, j))
+                if event in out_map:
+                    deterministic = False
+                else:
+                    out_map[event] = j
+                smask |= 1 << j
+                und_masks[j] |= bit_i
+                event_arcs[event].append((i, j))
+                if isinstance(event, SignalEdge):
+                    signal = event.signal
+                    sig_id = signal_ids.get(signal)
+                    if sig_id is None:
+                        sig_id = len(signal_ids)
+                        signal_ids[signal] = sig_id
+                        signal_is_input.append(is_input_signal(signal))
+                    arcs.append((i, j, sig_id))
+            succ_masks[i] = smask
+            und_masks[i] |= smask
+            succ_events.append(outgoing)
+            succ_maps.append(out_map)
+
+        self.succ_masks = succ_masks
+        self.und_masks = und_masks
+        self.succ_events = succ_events
+        self.succ_maps = succ_maps
+        self.deterministic = deterministic
+        self.arcs = arcs
+        self.signal_ids = signal_ids
+        self.signal_is_input = signal_is_input
+        self.event_list = event_list
+        self.event_arcs = event_arcs
+        self._event_arc_bits: Dict[Event, List[Tuple[int, int]]] = {}
+
+        # Signal-layout snapshot (the code-vector geometry of ``sg``).
+        self.signal_positions: Dict[str, int] = {
+            signal: p for p, signal in enumerate(sg.signals)
+        }
+        self.input_signals: Set[str] = {
+            signal for signal in sg.signals if is_input_signal(signal)
+        }
+
+        # Packed binary codes: bit ``p`` of ``codes[i]`` is the value of
+        # ``sg.signals[p]`` in state ``i`` — derived arithmetically from
+        # the parent's codes for insertion-produced graphs, read out of
+        # the encoding once for root graphs.
+        if _derive_from is not None:
+            self._derive_codes(_derive_from)
+        else:
+            encoding = sg.encoding
+            codes: List[int] = []
+            for state in states:
+                packed = 0
+                for p, value in enumerate(encoding[state]):
+                    if value:
+                        packed |= 1 << p
+                codes.append(packed)
+            self.codes = codes
+            self.parent = None
+            self.parent_positions = None
+
+        # Lazy artifacts.
+        self._er_masks: Dict[Event, int] = {}
+        self._sr_masks: Dict[Event, int] = {}
+        self._state_reprs: Optional[List[str]] = None
+        self._signatures: Optional[List[object]] = None
+        self._noninput_event: Dict[Event, bool] = {}
+        self._persistent_events: Optional[Set[Event]] = None
+        self._succ_targets: Optional[List[Tuple[int, ...]]] = None
+        self._in_sig_arcs: Optional[List[List[Tuple[int, int]]]] = None
+        self._out_sig_arcs: Optional[List[List[Tuple[int, int]]]] = None
+        self._s1_template: Optional[bytes] = None
+        self._int_code_groups: Optional[Dict[int, List[int]]] = None
+        self._shared_code_indices: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    # construction from an insertion (index arithmetic)
+    # ------------------------------------------------------------------
+    @classmethod
+    def derive_child(
+        cls, parent: "IndexedStateGraph", child_sg
+    ) -> "IndexedStateGraph":
+        """Index of a graph produced by inserting one signal into
+        ``parent``'s graph.
+
+        The structural arrays still come from one pass over the child's
+        transition system (its state *order* is defined by the replay in
+        :func:`repro.core.insertion.insert_signal`), but the packed codes
+        are derived arithmetically — ``code(s, v) = code(s) | v << p`` for
+        the new signal at position ``p`` — and every child state records
+        its parent index, which the incremental CSC re-analysis walks
+        without re-hashing parent states.
+        """
+        return cls(child_sg, _derive_from=parent)
+
+    def _derive_codes(self, parent: "IndexedStateGraph") -> None:
+        # Provenance of an insertion-derived index.  The parent is held
+        # weakly, mirroring the engine cache's provenance: long insertion
+        # chains must stay collectable.
+        new_position = len(parent.signal_positions)
+        parent_codes = parent.codes
+        parent_pos = parent.position
+        codes: List[int] = []
+        parent_positions: List[int] = []
+        for state in self.states:
+            original, value = state
+            p = parent_pos[original]
+            parent_positions.append(p)
+            codes.append(parent_codes[p] | (value << new_position))
+        self.parent = weakref.ref(parent)
+        self.parent_positions = parent_positions
+        self.codes = codes
+
+    # ------------------------------------------------------------------
+    # mask <-> object conversions
+    # ------------------------------------------------------------------
+    def mask_of(self, members: Sequence[State]) -> int:
+        position = self.position
+        mask = 0
+        for state in members:
+            mask |= 1 << position[state]
+        return mask
+
+    def states_of_mask(self, mask: int) -> List[int]:
+        """Set bit positions of ``mask`` (kept under the historical name
+        for compatibility with the PR-1 ``StateIndex`` API)."""
+        return bits_of(mask)
+
+    def frozenset_of_mask(self, mask: int) -> FrozenSet[State]:
+        states = self.states
+        return frozenset(states[i] for i in bits_of(mask))
+
+    # ------------------------------------------------------------------
+    # packed binary codes (CSC)
+    # ------------------------------------------------------------------
+    def value_mask(self, signal: str) -> int:
+        """Per-signal value bit-vector: the states in which ``signal``
+        holds 1, as one bitmask."""
+        bit = 1 << self.signal_positions[signal]
+        mask = 0
+        for i, code in enumerate(self.codes):
+            if code & bit:
+                mask |= 1 << i
+        return mask
+
+    def code_groups_idx(self) -> Dict[int, List[int]]:
+        """State indices bucketed by packed code, in first-seen order —
+        the integer-keyed form of :func:`repro.core.csc.code_groups`."""
+        groups = self._int_code_groups
+        if groups is None:
+            groups = {}
+            for i, code in enumerate(self.codes):
+                bucket = groups.get(code)
+                if bucket is None:
+                    groups[code] = [i]
+                else:
+                    bucket.append(i)
+            self._int_code_groups = groups
+        return groups
+
+    def parent_index(self) -> Optional["IndexedStateGraph"]:
+        """The parent graph's index this one was derived from, or ``None``
+        when underived (or the parent has been collected)."""
+        if self.parent is None:
+            return None
+        return self.parent()
+
+    def shared_code_indices(self) -> Set[int]:
+        """Indices of states whose packed code is shared by another state
+        (the USC-violating states — the only CSC candidates)."""
+        shared = self._shared_code_indices
+        if shared is None:
+            shared = set()
+            for members in self.code_groups_idx().values():
+                if len(members) > 1:
+                    shared.update(members)
+            self._shared_code_indices = shared
+        return shared
+
+    # ------------------------------------------------------------------
+    # per-event structure (ER/SR sets as bitmask unions)
+    # ------------------------------------------------------------------
+    def er_mask(self, event: Event) -> int:
+        """Union of the excitation regions of ``event`` (its source set)."""
+        mask = self._er_masks.get(event)
+        if mask is None:
+            mask = 0
+            for source, _target in self.event_arcs.get(event, ()):
+                mask |= 1 << source
+            self._er_masks[event] = mask
+        return mask
+
+    def sr_mask(self, event: Event) -> int:
+        """Union of the switching regions of ``event`` (its target set)."""
+        mask = self._sr_masks.get(event)
+        if mask is None:
+            mask = 0
+            for _source, target in self.event_arcs.get(event, ()):
+                mask |= 1 << target
+            self._sr_masks[event] = mask
+        return mask
+
+    @property
+    def succ_targets(self) -> List[Tuple[int, ...]]:
+        """Deduplicated successor indices of every state (lazy)."""
+        targets = self._succ_targets
+        if targets is None:
+            targets = [
+                tuple(dict.fromkeys(j for _event, j in outgoing))
+                for outgoing in self.succ_events
+            ]
+            self._succ_targets = targets
+        return targets
+
+    @property
+    def in_sig_arcs(self) -> List[List[Tuple[int, int]]]:
+        """Per-state ``(source, signal_id)`` lists of incoming signal arcs."""
+        in_arcs = self._in_sig_arcs
+        if in_arcs is None:
+            self._build_sig_arcs()
+            in_arcs = self._in_sig_arcs
+        return in_arcs
+
+    @property
+    def out_sig_arcs(self) -> List[List[Tuple[int, int]]]:
+        """Per-state ``(target, signal_id)`` lists of outgoing signal arcs."""
+        out_arcs = self._out_sig_arcs
+        if out_arcs is None:
+            self._build_sig_arcs()
+            out_arcs = self._out_sig_arcs
+        return out_arcs
+
+    def _build_sig_arcs(self) -> None:
+        n = self.num_states
+        in_arcs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        out_arcs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for source, target, signal in self.arcs:
+            out_arcs[source].append((target, signal))
+            in_arcs[target].append((source, signal))
+        self._in_sig_arcs = in_arcs
+        self._out_sig_arcs = out_arcs
+
+    @property
+    def s1_template(self) -> bytes:
+        """An all-``S1`` side table to memcpy fresh evaluations from."""
+        template = self._s1_template
+        if template is None:
+            template = bytes([S1]) * self.num_states
+            self._s1_template = template
+        return template
+
+    def event_arc_bits(self, event: Event) -> List[Tuple[int, int]]:
+        """The arcs of ``event`` as ``(source_bit, target_bit)`` single-bit
+        masks (memoized) — the shape the region expansion consumes."""
+        bits = self._event_arc_bits.get(event)
+        if bits is None:
+            bits = [(1 << s, 1 << t) for s, t in self.event_arcs.get(event, ())]
+            self._event_arc_bits[event] = bits
+        return bits
+
+    # ------------------------------------------------------------------
+    # connected components / canonical ordering
+    # ------------------------------------------------------------------
+    @property
+    def state_reprs(self) -> List[str]:
+        reprs = self._state_reprs
+        if reprs is None:
+            reprs = [repr(state) for state in self.states]
+            self._state_reprs = reprs
+        return reprs
+
+    def repr_key(self, mask: int) -> List[str]:
+        """``sorted(map(repr, states))`` of a mask — the canonical brick
+        ordering key of :func:`repro.core.bricks.deduplicate_bricks`."""
+        reprs = self.state_reprs
+        return sorted(reprs[i] for i in bits_of(mask))
+
+    def components_of_mask(self, mask: int) -> List[int]:
+        """Weakly connected components of the subgraph induced by ``mask``,
+        in the canonical order of
+        :func:`repro.core.excitation._connected_components` (ascending
+        size, then repr of the sorted member reprs)."""
+        und = self.und_masks
+        components: List[int] = []
+        remaining = mask
+        while remaining:
+            seed = remaining & -remaining
+            component = seed
+            frontier = seed
+            while frontier:
+                low = frontier & -frontier
+                frontier ^= low
+                grown = und[low.bit_length() - 1] & mask & ~component
+                component |= grown
+                frontier |= grown
+            components.append(component)
+            remaining &= ~component
+        components.sort(key=lambda c: (c.bit_count(), repr(self.repr_key(c))))
+        return components
+
+    # ------------------------------------------------------------------
+    # enabled-signal signatures (CSC conflict detection)
+    # ------------------------------------------------------------------
+    def _is_noninput_event(self, event: Event) -> bool:
+        flag = self._noninput_event.get(event)
+        if flag is None:
+            flag = isinstance(event, SignalEdge) and event.signal not in self.input_signals
+            self._noninput_event[event] = flag
+        return flag
+
+    def noninput_signature(self, index: int) -> FrozenSet[Event]:
+        """Enabled non-input signal edges of state ``index`` (memoized),
+        exactly :func:`repro.core.csc._noninput_signature`."""
+        signatures = self._signatures
+        if signatures is None:
+            signatures = [None] * self.num_states
+            self._signatures = signatures
+        signature = signatures[index]
+        if signature is None:
+            signature = frozenset(
+                event
+                for event, _target in self.succ_events[index]
+                if self._is_noninput_event(event)
+            )
+            signatures[index] = signature
+        return signature
+
+    # ------------------------------------------------------------------
+    # behavioural properties (SIP checks)
+    # ------------------------------------------------------------------
+    def is_commutative(self) -> bool:
+        """Bitmask-era twin of :func:`repro.ts.properties.is_commutative`."""
+        succ_maps = self.succ_maps
+        for outgoing in self.succ_events:
+            for i, (event_a, after_a) in enumerate(outgoing):
+                map_a = succ_maps[after_a]
+                for event_b, after_b in outgoing[i + 1 :]:
+                    if event_a == event_b:
+                        continue
+                    ab = map_a.get(event_b)
+                    if ab is None:
+                        continue
+                    ba = succ_maps[after_b].get(event_a)
+                    if ba is not None and ab != ba:
+                        return False
+        return True
+
+    def is_event_persistent(self, event: Event) -> bool:
+        """Twin of :func:`repro.ts.properties.is_event_persistent` (whole
+        state space)."""
+        succ_maps = self.succ_maps
+        succ_events = self.succ_events
+        for source, _target in self.event_arcs.get(event, ()):
+            for other_event, after_other in succ_events[source]:
+                if other_event == event:
+                    continue
+                if event not in succ_maps[after_other]:
+                    return False
+        return True
+
+    def persistent_events(self) -> Set[Event]:
+        """The persistent events of the graph (memoized)."""
+        persistent = self._persistent_events
+        if persistent is None:
+            persistent = {
+                event for event in self.event_list if self.is_event_persistent(event)
+            }
+            self._persistent_events = persistent
+        return persistent
+
+
+# ----------------------------------------------------------------------
+# cache-aware accessor
+# ----------------------------------------------------------------------
+def indexed_state_graph(sg) -> IndexedStateGraph:
+    """The canonical :class:`IndexedStateGraph` of ``sg``.
+
+    With the engine caches enabled the index is built once and attached
+    to the graph; insertion-produced graphs derive their packed codes and
+    parent-position table from the parent's index by index arithmetic.
+    With caches disabled a fresh index is built on every call (the legacy
+    oracle never touches cached state).
+    """
+    if not caches.caches_enabled():
+        return IndexedStateGraph(sg)
+    cache = caches.get_cache(sg)
+    isg = cache.indexed
+    if isg is None:
+        parent_info = caches.provenance_parent(cache)
+        if parent_info is not None:
+            parent_sg, _partition = parent_info
+            parent_cache = caches.peek_cache(parent_sg)
+            if parent_cache is not None and parent_cache.indexed is not None:
+                isg = IndexedStateGraph.derive_child(parent_cache.indexed, sg)
+        if isg is None:
+            isg = IndexedStateGraph(sg)
+        cache.indexed = isg
+    return isg
+
+
+def indexed_brick_bundle(
+    sg, mode: str = "regions", max_explored: int = 20000
+) -> Tuple[List[FrozenSet[State]], List[int], List[Tuple[int, ...]]]:
+    """Bricks of ``sg`` with their bitmasks and sorted adjacency lists.
+
+    Returns ``(bricks, masks, adjacency)`` where ``bricks`` is the
+    object-space list of :func:`repro.engine.caches.get_bricks` (itself
+    assembled from indexed per-event computations with carry-over across
+    insertions), ``masks[i]`` is the bitmask of ``bricks[i]`` and
+    ``adjacency[i]`` the sorted tuple of adjacent brick indices, computed
+    by bitmask algebra.
+    """
+    key = ("indexed-bricks", mode, max_explored)
+    cache = caches.get_cache(sg) if caches.caches_enabled() else None
+    if cache is not None:
+        bundle = cache.extras.get(key)
+        if bundle is not None:
+            return bundle
+    bricks = caches.get_bricks(sg, mode, max_explored)
+    isg = indexed_state_graph(sg)
+    masks = [isg.mask_of(brick) for brick in bricks]
+    adjacency = brick_adjacency_masks(isg, masks)
+    bundle = (bricks, masks, adjacency)
+    if cache is not None:
+        cache.extras[key] = bundle
+    return bundle
+
+
+def brick_adjacency_masks(
+    isg: IndexedStateGraph, masks: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Brick adjacency on bitmasks (twin of
+    :func:`repro.core.bricks.brick_adjacency`, as sorted index tuples).
+
+    Two bricks are adjacent when they overlap or an arc connects them in
+    either direction; ``mask | successors(mask)`` of each brick reduces
+    both tests to two integer ANDs per pair.
+    """
+    succ_masks = isg.succ_masks
+    count = len(masks)
+    reach: List[int] = []
+    for mask in masks:
+        expanded = mask
+        m = mask
+        while m:
+            low = m & -m
+            m ^= low
+            expanded |= succ_masks[low.bit_length() - 1]
+        reach.append(expanded)
+    neighbours: List[List[int]] = [[] for _ in range(count)]
+    for i in range(count):
+        poll_deadline()
+        mask_i = masks[i]
+        reach_i = reach[i]
+        for j in range(i + 1, count):
+            if (reach_i & masks[j]) or (reach[j] & mask_i):
+                neighbours[i].append(j)
+                neighbours[j].append(i)
+    return [tuple(sorted(row)) for row in neighbours]
+
+
+def adjacency_dict_from_bundle(adjacency: Sequence[Tuple[int, ...]]) -> Dict[int, Set[int]]:
+    """The ``Dict[int, Set[int]]`` view of a bundle adjacency (the shape
+    of :func:`repro.core.bricks.brick_adjacency`)."""
+    return {i: set(row) for i, row in enumerate(adjacency)}
+
+
+# ----------------------------------------------------------------------
+# block evaluation (the Figure-4 hot loop)
+# ----------------------------------------------------------------------
+class IndexedEvaluation:
+    """A candidate block with its side table and cost (index space)."""
+
+    __slots__ = ("mask", "size", "side", "cost")
+
+    def __init__(self, mask: int, size: int, side: bytearray, cost: Cost) -> None:
+        self.mask = mask
+        self.size = size
+        self.side = side
+        self.cost = cost
+
+    def to_partition(self, index: IndexedStateGraph) -> IPartition:
+        """The object-space I-partition this evaluation describes."""
+        buckets: Tuple[List[State], List[State], List[State], List[State]] = (
+            [],
+            [],
+            [],
+            [],
+        )
+        states = index.states
+        for i, code in enumerate(self.side):
+            buckets[code].append(states[i])
+        return IPartition(
+            s0=frozenset(buckets[S0]),
+            splus=frozenset(buckets[SPLUS]),
+            s1=frozenset(buckets[S1]),
+            sminus=frozenset(buckets[SMINUS]),
+        )
+
+    def block_states(self, index: IndexedStateGraph) -> FrozenSet[State]:
+        states = index.states
+        return frozenset(
+            states[i] for i, code in enumerate(self.side) if code in (S0, SPLUS)
+        )
+
+
+class IndexedEvaluator:
+    """Memoized block evaluation for one insertion search.
+
+    Evaluations are keyed by block bitmask (equivalently: by the block's
+    state frozenset), so repeated unions explored by the frontier growth,
+    the greedy merge and the concurrency enlargement are costed once.
+    The numbers produced are exactly those of
+    :func:`repro.core.cost.evaluate_block` — the object-space oracle.
+    """
+
+    __slots__ = (
+        "index",
+        "conflict_pairs",
+        "pair_count",
+        "first_sides",
+        "second_masks",
+        "count_input_delays",
+        "memo",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self, sg, conflicts, allow_input_delay: bool) -> None:
+        self.index = indexed_state_graph(sg)
+        position = self.index.position
+        self.conflict_pairs = [
+            (position[conflict.first], position[conflict.second])
+            for conflict in conflicts
+        ]
+        self.pair_count = len(self.conflict_pairs)
+        # Pairs grouped by first endpoint: a pair is *solved* when its two
+        # endpoints sit firmly on opposite stable sides, so the solved
+        # count per first endpoint is one AND + popcount against the
+        # opposite side's bitmask.  Conflict pairs cluster heavily (a
+        # code-sharing group of g states contributes g*(g-1)/2 pairs but
+        # only g-1 distinct first endpoints), which makes this far cheaper
+        # than a per-pair loop.
+        grouped: Dict[int, int] = {}
+        for first, second in self.conflict_pairs:
+            grouped[first] = grouped.get(first, 0) | (1 << second)
+        self.first_sides = list(grouped)
+        self.second_masks = [grouped[first] for first in self.first_sides]
+        self.count_input_delays = not allow_input_delay
+        self.memo: Dict[int, Optional[IndexedEvaluation]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
+        """Evaluate a block bitmask (``None`` for degenerate blocks)."""
+        found = self.memo.get(mask, _MISSING)
+        if found is not _MISSING:
+            self.hits += 1
+            return found
+        self.misses += 1
+        evaluation = self._evaluate(mask)
+        self.memo[mask] = evaluation
+        return evaluation
+
+    def _evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
+        poll_deadline()
+        index = self.index
+        n = index.num_states
+        if mask == 0 or mask == index.full_mask:
+            return None
+        size = mask.bit_count()
+        if size >= n:
+            return None
+
+        succ = index.succ_targets
+
+        # The side table doubles as the membership table while the two
+        # exit borders are derived: S0 marks the block, S1 (the template
+        # default) its complement, and border states are marked SPLUS /
+        # SMINUS *in place* as the MWFEB recursion discovers them (the
+        # encodings are chosen so the remaining membership tests still
+        # read correctly: block = {S0, SPLUS} = values < S1, complement
+        # interior = S1).
+        side = bytearray(index.s1_template)
+        members = bits_of(mask)
+        for i in members:
+            side[i] = S0
+
+        # MWFEB(block) -> ER(x+): seed with members that have a successor
+        # outside the block, close under in-block successors.
+        splus: List[int] = []
+        for i in members:
+            for t in succ[i]:
+                if side[t] == S1:
+                    side[i] = SPLUS
+                    splus.append(i)
+                    break
+        if not splus:
+            return None
+        stack = list(splus)
+        while stack:
+            i = stack.pop()
+            for t in succ[i]:
+                if side[t] == S0:
+                    side[t] = SPLUS
+                    splus.append(t)
+                    stack.append(t)
+
+        # MWFEB(complement) -> ER(x-).  The complement members are read
+        # back from the side table (C-level bytearray iteration) instead
+        # of extracting the complement mask's bits one by one.
+        sminus: List[int] = []
+        for i, value in enumerate(side):
+            if value == S1:
+                for t in succ[i]:
+                    if side[t] < S1:
+                        side[i] = SMINUS
+                        sminus.append(i)
+                        break
+        if not sminus:
+            return None
+        stack = list(sminus)
+        while stack:
+            i = stack.pop()
+            for t in succ[i]:
+                if side[t] == S1:
+                    side[t] = SMINUS
+                    sminus.append(t)
+                    stack.append(t)
+
+        splus_mask = 0
+        for i in splus:
+            splus_mask |= 1 << i
+        sminus_mask = 0
+        for i in sminus:
+            sminus_mask |= 1 << i
+
+        # unsolved = pairs minus the firmly separated ones (first on one
+        # stable side, second on the other).
+        s0_mask = mask & ~splus_mask
+        s1_mask = (index.full_mask ^ mask) & ~sminus_mask
+        solved = 0
+        second_masks = self.second_masks
+        for idx, first in enumerate(self.first_sides):
+            sf = side[first]
+            if sf == S0:
+                solved += (second_masks[idx] & s1_mask).bit_count()
+            elif sf == S1:
+                solved += (second_masks[idx] & s0_mask).bit_count()
+        unsolved = self.pair_count - solved
+
+        # Trigger/delay accounting only involves arcs incident to the two
+        # borders, so those arcs are enumerated from the border states
+        # instead of scanning the whole arc table.
+        entering_plus: Set[int] = set()
+        entering_minus: Set[int] = set()
+        delayed: Set[int] = set()
+        in_arcs = index.in_sig_arcs
+        out_arcs = index.out_sig_arcs
+        for b in splus:
+            for src, signal in in_arcs[b]:
+                ss = side[src]
+                if ss != SPLUS:
+                    entering_plus.add(signal)
+                    if ss == SMINUS:
+                        delayed.add(signal)
+            for tgt, signal in out_arcs[b]:
+                if side[tgt] == S1:
+                    delayed.add(signal)
+        for b in sminus:
+            for src, signal in in_arcs[b]:
+                ss = side[src]
+                if ss != SMINUS:
+                    entering_minus.add(signal)
+                    if ss == SPLUS:
+                        delayed.add(signal)
+            for tgt, signal in out_arcs[b]:
+                if not side[tgt]:
+                    delayed.add(signal)
+
+        input_delays = 0
+        if self.count_input_delays:
+            is_input = index.signal_is_input
+            input_delays = sum(1 for signal in delayed if is_input[signal])
+
+        cost = Cost(
+            unsolved_conflicts=unsolved,
+            input_delays=input_delays,
+            trigger_estimate=len(entering_plus) + len(entering_minus) + len(delayed),
+            border_size=len(splus) + len(sminus),
+        )
+        return IndexedEvaluation(mask, size, side, cost)

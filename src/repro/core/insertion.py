@@ -147,7 +147,12 @@ def insert_signal(
         encoding=new_encoding,
         name=new_ts.name,
     )
-    # Record where the expanded graph came from so the engine caches can
-    # re-analyse CSC incrementally and carry over untouched brick entries.
+    # Record where the expanded graph came from.  The provenance lets the
+    # engine caches carry over untouched brick entries, and it is what
+    # repro.core.indexed.indexed_state_graph keys on to produce the
+    # child's IndexedStateGraph by index arithmetic (packed codes and the
+    # parent-position table derived from the parent's index instead of
+    # re-deriving them from the nested (state, bit) encoding), which in
+    # turn drives the index-space incremental CSC re-analysis.
     engine_caches.note_insertion(sg, new_sg, partition, signal)
     return new_sg

@@ -11,7 +11,7 @@ excitation regions of ``x+`` and ``x-``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.ts.transition_system import TransitionSystem
 
@@ -63,6 +63,62 @@ def min_wellformed_exit_border(ts: TransitionSystem, block: Iterable[State]) -> 
                 border.add(target)
                 frontier.append(target)
     return border
+
+
+# ----------------------------------------------------------------------
+# bitmask twins of the exit-border recursion
+# ----------------------------------------------------------------------
+#
+# The indexed pipeline (repro.core.indexed) represents a set of states as
+# one Python int whose bit ``i`` stands for state ``i`` of an
+# :class:`~repro.core.indexed.IndexedStateGraph`.  The functions below are
+# the bitmask twins of the object-space helpers above; the object-space
+# versions stay as the cache-disabled oracle.
+
+def exit_border_mask(succ_masks: List[int], block: int) -> int:
+    """``EB(block)`` as a bitmask: members with a successor outside."""
+    border = 0
+    inv = ~block
+    members = block
+    while members:
+        low = members & -members
+        members ^= low
+        if succ_masks[low.bit_length() - 1] & inv:
+            border |= low
+    return border
+
+
+def min_wellformed_exit_border_mask(succ_masks: List[int], block: int) -> int:
+    """``MWFEB(block)`` as a bitmask (twin of
+    :func:`min_wellformed_exit_border`): seed with the members that have a
+    transition leaving ``block``, then close under successors inside
+    ``block``."""
+    border = exit_border_mask(succ_masks, block)
+    frontier = border
+    while frontier:
+        low = frontier & -frontier
+        frontier ^= low
+        grown = succ_masks[low.bit_length() - 1] & block & ~border
+        border |= grown
+        frontier |= grown
+    return border
+
+
+def ipartition_masks_from_block(
+    succ_masks: List[int], block: int, universe: int
+) -> Optional[Tuple[int, int, int, int]]:
+    """``(S0, S+, S1, S-)`` masks induced by a bipartition block, or
+    ``None`` when the induced signal would never switch (twin of
+    :func:`ipartition_from_block` plus the degeneracy filter of
+    :func:`repro.core.cost.evaluate_block`)."""
+    splus = min_wellformed_exit_border_mask(succ_masks, block)
+    if not splus:
+        return None
+    complement = universe & ~block
+    sminus = min_wellformed_exit_border_mask(succ_masks, complement)
+    if not sminus:
+        return None
+    return (block & ~splus, splus, complement & ~sminus, sminus)
 
 
 @dataclass(frozen=True)

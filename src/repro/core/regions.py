@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set
 
 from repro.ts.transition_system import TransitionSystem
+from repro.utils.deadline import poll_deadline
 from repro.utils.ordered import stable_sorted
 
 State = Hashable
@@ -245,6 +246,152 @@ def minimal_postregions(
     targets = {target for _source, target in ts.transitions_of(event)}
     candidates = minimal_regions_containing(ts, targets, max_explored=max_explored)
     return [r for r in candidates if crossing(ts, r, event).enters]
+
+
+# ----------------------------------------------------------------------
+# indexed (bitmask) expansion
+# ----------------------------------------------------------------------
+#
+# Twin of the expansion above on an
+# :class:`~repro.core.indexed.IndexedStateGraph`: candidate sets are int
+# bitmasks, membership tests are single-bit ANDs, repair additions are
+# bitmask unions.  The branching order is identical to the object-space
+# search (same event order, same stack discipline, same minimisation), so
+# the produced region lists are byte-identical.
+
+def _expansion_choices_mask(
+    arc_bits: List[tuple], current: int
+) -> Optional[List[int]]:
+    """Repair-addition masks for one violating event, or ``None`` if legal
+    (twin of :func:`_expansion_choices`)."""
+    enter_sources = 0
+    exit_targets = 0
+    outside_targets = 0
+    has_inside = has_exit = has_enter = has_outside = False
+
+    for source_bit, target_bit in arc_bits:
+        if current & source_bit:
+            if current & target_bit:
+                has_inside = True
+            else:
+                has_exit = True
+                exit_targets |= target_bit
+        elif current & target_bit:
+            has_enter = True
+            enter_sources |= source_bit
+        else:
+            has_outside = True
+            outside_targets |= target_bit
+
+    legal = not (
+        (has_enter and (has_exit or has_inside or has_outside))
+        or (has_exit and (has_enter or has_inside or has_outside))
+    )
+    if legal:
+        return None
+
+    choices = [enter_sources | exit_targets]
+    if has_enter and not has_inside and not has_exit:
+        choices.append(outside_targets)
+    return choices
+
+
+def minimal_region_masks_containing(
+    isg, seed_mask: int, max_explored: int = 20000
+) -> List[int]:
+    """All minimal regions containing ``seed_mask``, as bitmasks (twin of
+    :func:`minimal_regions_containing`)."""
+    if not seed_mask:
+        return []
+    full_mask = isg.full_mask
+    event_arc_bits = [isg.event_arc_bits(event) for event in isg.event_list]
+
+    found: List[int] = []
+    visited: Set[int] = set()
+    stack: List[int] = [seed_mask]
+    explored = 0
+
+    while stack:
+        poll_deadline()
+        current = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        explored += 1
+        if explored > max_explored:
+            raise RegionSearchBudgetExceeded(
+                f"region expansion explored more than {max_explored} candidate sets"
+            )
+        if current == full_mask:
+            found.append(full_mask)
+            continue
+
+        choices: Optional[List[int]] = None
+        for arc_bits in event_arc_bits:
+            choices = _expansion_choices_mask(arc_bits, current)
+            if choices is not None:
+                break
+        if choices is None:
+            found.append(current)
+            continue
+        for addition in choices:
+            expanded = current | addition
+            if expanded not in visited:
+                stack.append(expanded)
+
+    return _keep_minimal_masks(found)
+
+
+def _keep_minimal_masks(masks: List[int]) -> List[int]:
+    """Twin of :func:`_keep_minimal` on bitmasks (subset test is ``&``)."""
+    unique = list(dict.fromkeys(masks))
+    unique.sort(key=lambda m: m.bit_count())
+    minimal: List[int] = []
+    for candidate in unique:
+        if not any(kept != candidate and kept & candidate == kept for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+def _event_crossing_flags(arc_bits: List[tuple], mask: int) -> tuple:
+    """``(enters, exits)`` of an event w.r.t. ``mask`` (legality included,
+    matching :class:`Crossing`.enters / ``.exits``)."""
+    has_inside = has_exit = has_enter = has_outside = False
+    for source_bit, target_bit in arc_bits:
+        if mask & source_bit:
+            if mask & target_bit:
+                has_inside = True
+            else:
+                has_exit = True
+        elif mask & target_bit:
+            has_enter = True
+        else:
+            has_outside = True
+    legal = not (
+        (has_enter and (has_exit or has_inside or has_outside))
+        or (has_exit and (has_enter or has_inside or has_outside))
+    )
+    return (has_enter and legal, has_exit and legal)
+
+
+def minimal_preregion_masks(isg, event: Event, max_explored: int = 20000) -> List[int]:
+    """Minimal pre-regions of ``event`` as bitmasks (twin of
+    :func:`minimal_preregions`)."""
+    arc_bits = isg.event_arc_bits(event)
+    candidates = minimal_region_masks_containing(
+        isg, isg.er_mask(event), max_explored=max_explored
+    )
+    return [m for m in candidates if _event_crossing_flags(arc_bits, m)[1]]
+
+
+def minimal_postregion_masks(isg, event: Event, max_explored: int = 20000) -> List[int]:
+    """Minimal post-regions of ``event`` as bitmasks (twin of
+    :func:`minimal_postregions`)."""
+    arc_bits = isg.event_arc_bits(event)
+    candidates = minimal_region_masks_containing(
+        isg, isg.sr_mask(event), max_explored=max_explored
+    )
+    return [m for m in candidates if _event_crossing_flags(arc_bits, m)[0]]
 
 
 def all_minimal_regions(

@@ -21,8 +21,8 @@ from repro.core.cost import BlockEvaluation, Cost, evaluate_block, evaluate_part
 from repro.core.csc import CSCConflict, csc_conflicts
 from repro.core.ipartition import IPartition
 from repro.core.sip import InsertionCheck, check_insertion
+from repro.core import indexed
 from repro.engine import caches as engine_caches
-from repro.engine import indexing
 from repro.stg.signals import SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import is_event_persistent
@@ -108,7 +108,7 @@ def find_insertion_plan(
     valid candidate could be found within the search budget.
 
     When the engine caches are enabled (the default) the search runs on
-    the integer-indexed fast path of :mod:`repro.engine.indexing`, with
+    the integer-indexed fast path of :mod:`repro.core.indexed`, with
     block evaluations memoized by block frozenset; the object-space
     implementation below is the cache-disabled baseline and produces
     identical plans.
@@ -269,7 +269,7 @@ class _IndexedCandidate:
         self,
         mask: int,
         brick_indices: FrozenSet[int],
-        evaluation: "indexing.IndexedEvaluation",
+        evaluation: "indexed.IndexedEvaluation",
     ) -> None:
         self.mask = mask
         self.size = evaluation.size
@@ -299,14 +299,14 @@ def _find_insertion_plan_indexed(
     are memoized per block, and brick decomposition/adjacency come from
     the per-graph cache.
     """
-    bricks, masks, adjacency = indexing.get_indexed_bricks(
+    bricks, masks, adjacency = indexed.indexed_brick_bundle(
         sg, mode=settings.brick_mode, max_explored=settings.region_budget
     )
     if not bricks:
         return None
-    index = indexing.get_index(sg)
+    index = indexed.indexed_state_graph(sg)
     num_states = index.num_states
-    evaluator = indexing.IndexedEvaluator(
+    evaluator = indexed.IndexedEvaluator(
         sg, conflicts, allow_input_delay=settings.allow_input_delay
     )
 
@@ -361,9 +361,7 @@ def _find_insertion_plan_indexed(
         ranked = [merged] + ranked
 
     # --- validate candidates in cost order --------------------------------
-    persistent_before = {
-        event for event in sg.ts.events if is_event_persistent(sg.ts, event)
-    }
+    persistent_before = index.persistent_events()
     examined = 0
     for candidate in ranked:
         check_deadline()
@@ -428,7 +426,7 @@ def _find_insertion_plan_indexed(
 
 def _greedy_merge_indexed(
     ranked: Sequence[_IndexedCandidate],
-    evaluator: "indexing.IndexedEvaluator",
+    evaluator: "indexed.IndexedEvaluator",
     num_states: int,
     settings: SearchSettings,
 ) -> Optional[_IndexedCandidate]:

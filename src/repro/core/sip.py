@@ -16,10 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set
 
+from repro.core import indexed
 from repro.core.excitation import excitation_regions
 from repro.core.insertion import IllegalInsertionError, insert_signal
 from repro.core.ipartition import IPartition
 from repro.core.regions import is_region
+from repro.engine import caches as engine_caches
 from repro.stg.signals import SignalEdge, SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import (
@@ -162,6 +164,39 @@ def check_insertion(
         new_sg = insert_signal(sg, partition, signal, signal_type)
     except IllegalInsertionError as error:
         return InsertionCheck(ok=False, reasons=[str(error)], delayed=delayed)
+
+    if engine_caches.caches_enabled():
+        # Run the property checks on the expanded graph's indexed
+        # representation (derived by index arithmetic from the parent's):
+        # determinism falls out of the index construction, commutativity
+        # and persistency are dictionary-driven instead of scanning
+        # successor lists per query.  Identical verdicts to the
+        # object-space checks below, which remain the cache-disabled
+        # oracle.
+        child = indexed.indexed_state_graph(new_sg)
+        if not child.deterministic:
+            reasons.append("insertion breaks determinism")
+        if check_commutativity and not child.is_commutative():
+            reasons.append("insertion breaks commutativity")
+
+        if persistent_before is None:
+            persistent_before = indexed.indexed_state_graph(sg).persistent_events()
+        child_events = child.event_arcs
+        for event in persistent_before:
+            if isinstance(event, SignalEdge) and sg.is_input_edge(event):
+                # Input persistency is an assumption about the environment
+                # (see the object-space branch below).
+                continue
+            if event in child_events and not child.is_event_persistent(event):
+                reasons.append(f"event {event} loses persistency")
+
+        for edge in (SignalEdge.rise(signal), SignalEdge.fall(signal)):
+            if edge in child_events and not child.is_event_persistent(edge):
+                reasons.append(f"inserted transition {edge} is not persistent")
+
+        return InsertionCheck(
+            ok=not reasons, reasons=reasons, new_sg=new_sg, delayed=delayed
+        )
 
     if not is_deterministic(new_sg.ts):
         reasons.append("insertion breaks determinism")

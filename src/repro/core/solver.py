@@ -131,8 +131,9 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
         check_deadline()  # per-job wall-clock bound (repro.utils.deadline)
         # With the engine caches enabled this is free after the first
         # iteration: the expanded graph's conflicts were already derived
-        # incrementally (from its parent's code groups) when the search
-        # validated the insertion, and the memoized list is reused here.
+        # incrementally in index space (bucketing its packed codes over
+        # the parent's code-sharing groups) when the search validated the
+        # insertion, and the memoized list is reused here.
         conflicts = csc_conflicts(current)
         if not conflicts:
             result.solved = True

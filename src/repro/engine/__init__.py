@@ -3,12 +3,13 @@
 This package scales the per-STG encoder of :mod:`repro.core` to whole
 benchmark libraries:
 
-* :mod:`repro.engine.caches` — per-state-graph shared caches (brick
-  decomposition, brick adjacency, CSC conflict analysis, the indexed
-  search view) with selective invalidation across signal insertions;
-* :mod:`repro.engine.indexing` — an integer-indexed view of a state
-  graph and the indexed implementation of the Figure-4 block evaluation
-  (the solver's hot path);
+* :mod:`repro.engine.caches` — per-state-graph shared caches (the
+  canonical :class:`~repro.core.indexed.IndexedStateGraph`, brick
+  decomposition, brick adjacency, CSC conflict analysis) with selective
+  invalidation and index derivation across signal insertions;
+* :mod:`repro.engine.indexing` — compatibility shim for the PR-1 module
+  of that name; the indexed representation itself now lives in
+  :mod:`repro.core.indexed` and is what the core pipeline computes on;
 * :mod:`repro.engine.batch` — ``encode_many``: encode many STGs
   concurrently through a process pool, with byte-identical results
   between serial and parallel runs.

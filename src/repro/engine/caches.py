@@ -7,11 +7,16 @@ scratch on every link of that chain is where the solver used to spend
 most of its time.  This module attaches a cache to each
 :class:`~repro.stg.state_graph.StateGraph` that
 
+* holds the graph's canonical :class:`~repro.core.indexed.IndexedStateGraph`
+  (the integer/bitset representation the core pipeline computes on),
 * memoizes brick decomposition (per event) and brick adjacency,
 * memoizes the CSC conflict list and the code groups backing it,
 * records the *provenance* of a graph produced by signal insertion
   (parent graph, I-partition, inserted signal), which enables
 
+  - derivation of the child's indexed representation by index
+    arithmetic (packed codes, parent-position table) instead of a
+    from-scratch re-derivation,
   - incremental CSC re-analysis (:func:`repro.core.csc.csc_conflicts`
     only re-examines states descending from previously code-sharing
     groups), and
@@ -40,9 +45,9 @@ from repro.core.bricks import (
     brick_adjacency,
     compute_bricks,
     deduplicate_bricks,
-    event_region_bricks,
+    event_region_bricks_indexed,
 )
-from repro.core.excitation import excitation_regions
+from repro.core.excitation import excitation_regions_indexed
 from repro.utils.ordered import stable_sorted
 
 State = Hashable
@@ -98,6 +103,7 @@ class SGCache:
 
     __slots__ = (
         "provenance",
+        "indexed",
         "conflicts",
         "code_groups",
         "er_bricks",
@@ -117,6 +123,10 @@ class SGCache:
         # brick carry-over read it; afterwards a dead reference simply
         # falls back to recomputation.
         self.provenance: Optional[Tuple["weakref.ref", object, str]] = None
+        # The canonical IndexedStateGraph of the graph (built lazily by
+        # repro.core.indexed.indexed_state_graph; typed as object to keep
+        # this module importable below repro.core.indexed).
+        self.indexed: Optional[object] = None
         self.conflicts: Optional[list] = None
         self.code_groups: Optional[Dict[tuple, list]] = None
         self.er_bricks: Dict[object, List[Brick]] = {}
@@ -204,6 +214,14 @@ def _carried_bricks(sg, bricks: List[Brick], partition) -> Optional[List[Brick]]
     return mapped
 
 
+def _indexed_module():
+    """Deferred import of :mod:`repro.core.indexed` (which imports this
+    module at load time, so the dependency must point upward lazily)."""
+    from repro.core import indexed
+
+    return indexed
+
+
 def _er_bricks_for(sg, cache: SGCache, event) -> List[Brick]:
     bricks = cache.er_bricks.get(event)
     if bricks is not None:
@@ -219,7 +237,8 @@ def _er_bricks_for(sg, cache: SGCache, event) -> List[Brick]:
                 if mapped is not None:
                     cache.er_bricks[event] = mapped
                     return mapped
-    bricks = excitation_regions(sg.ts, event)
+    indexed = _indexed_module()
+    bricks = excitation_regions_indexed(indexed.indexed_state_graph(sg), event)
     cache.er_bricks[event] = bricks
     return bricks
 
@@ -240,7 +259,10 @@ def _region_bricks_for(sg, cache: SGCache, event, max_explored: int) -> List[Bri
                 if mapped is not None:
                     cache.region_bricks[key] = mapped
                     return mapped
-    bricks = event_region_bricks(sg.ts, event, max_explored=max_explored)
+    indexed = _indexed_module()
+    bricks = event_region_bricks_indexed(
+        indexed.indexed_state_graph(sg), event, max_explored=max_explored
+    )
     cache.region_bricks[key] = bricks
     return bricks
 
@@ -277,13 +299,19 @@ def get_bricks(sg, mode: str = "regions", max_explored: int = 20000) -> List[Bri
 
 
 def get_adjacency(sg, mode: str = "regions", max_explored: int = 20000) -> Dict[int, Set[int]]:
-    """Brick adjacency for :func:`get_bricks` (cached per ``(mode, budget)``)."""
+    """Brick adjacency for :func:`get_bricks` (cached per ``(mode, budget)``).
+
+    With caches enabled the relation is computed by the bitmask algebra
+    of :func:`repro.core.indexed.brick_adjacency_masks` (identical to the
+    object-space :func:`repro.core.bricks.brick_adjacency`)."""
     if not caches_enabled():
         return brick_adjacency(sg.ts, compute_bricks(sg.ts, mode=mode, max_explored=max_explored))
     cache = get_cache(sg)
     key = (mode, max_explored)
     adjacency = cache.adjacency.get(key)
     if adjacency is None:
-        adjacency = brick_adjacency(sg.ts, get_bricks(sg, mode, max_explored))
+        indexed = _indexed_module()
+        _bricks, _masks, rows = indexed.indexed_brick_bundle(sg, mode, max_explored)
+        adjacency = indexed.adjacency_dict_from_bundle(rows)
         cache.adjacency[key] = adjacency
     return adjacency

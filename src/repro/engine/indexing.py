@@ -1,319 +1,48 @@
-"""Integer-indexed view of a state graph for the insertion search.
+"""Compatibility shim: the indexed view moved into the core.
 
-The Figure-4 search evaluates tens of thousands of candidate blocks per
-insertion, and every evaluation walks all transitions and both exit
-borders.  With states represented by their original objects (nested
-``(marking, bit)`` tuples after a few insertions) the dominant cost is
-re-hashing those objects in set operations.  This module interns the
-states of a graph once into ``0..n-1`` and implements the block
-evaluation entirely on integers and bitmasks:
+PR 1 introduced the integer-indexed representation here as a per-search
+memo for the Figure-4 block evaluation.  It has since been promoted to
+the *canonical* representation the whole CSC pipeline computes on
+(:mod:`repro.core.indexed`): excitation regions, CSC conflict bucketing,
+brick decomposition, region expansion, exit borders and the SIP property
+checks all run on the interned integer/bitset form, with the object-space
+implementations kept behind ``use_caches(False)`` as the differential
+oracle.
 
-* a candidate block is a single Python ``int`` bitmask (union with a
-  brick is one ``|``),
-* the derived I-partition is a ``side`` byte table (``S0 / ER(x+) / S1 /
-  ER(x-)`` per state),
-* cost evaluation is one pass over a pre-extracted arc table plus one
-  pass over the (index-mapped) conflict pairs.
-
-The numbers it produces are exactly those of
-:func:`repro.core.cost.evaluate_block` — the legacy object-space
-implementation is kept as the cache-disabled baseline and as a
-differential-testing oracle.
+This module re-exports the historical names so PR-1-era imports keep
+working; new code should import from :mod:`repro.core.indexed`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from repro.core.indexed import (
+    S0,
+    S1,
+    SMINUS,
+    SPLUS,
+    IndexedEvaluation,
+    IndexedEvaluator,
+    IndexedStateGraph,
+    indexed_brick_bundle,
+    indexed_state_graph,
+)
 
-from repro.core.cost import Cost
-from repro.core.ipartition import IPartition
-from repro.engine import caches
-from repro.stg.signals import SignalEdge
+# Historical aliases (PR-1 API).
+StateIndex = IndexedStateGraph
+get_index = indexed_state_graph
+get_indexed_bricks = indexed_brick_bundle
 
-State = Hashable
-
-# side table codes
-S0 = 0
-SPLUS = 1
-S1 = 2
-SMINUS = 3
-
-
-class StateIndex:
-    """Interned arrays of one state graph (states, arcs, signals)."""
-
-    __slots__ = (
-        "states",
-        "position",
-        "succ_targets",
-        "arcs",
-        "signal_is_input",
-        "num_states",
-        "full_mask",
-    )
-
-    def __init__(self, sg) -> None:
-        self.states: List[State] = list(sg.ts.states)
-        self.position: Dict[State, int] = {
-            state: index for index, state in enumerate(self.states)
-        }
-        self.num_states = len(self.states)
-        self.full_mask = (1 << self.num_states) - 1
-
-        position = self.position
-        succ: List[Tuple[int, ...]] = []
-        for state in self.states:
-            targets = dict.fromkeys(
-                position[target] for _event, target in sg.ts.successors(state)
-            )
-            succ.append(tuple(targets))
-        self.succ_targets = succ
-
-        # Signals are interned as well; non-SignalEdge arcs do not carry a
-        # signal and are excluded from the arc table (matching the
-        # isinstance checks of the object-space cost helpers) but do
-        # participate in the successor table above.
-        signal_ids: Dict[str, int] = {}
-        signal_is_input: List[bool] = []
-        arcs: List[Tuple[int, int, int]] = []
-        for source, edge, target in sg.ts.transitions():
-            if not isinstance(edge, SignalEdge):
-                continue
-            signal = edge.signal
-            sig_id = signal_ids.get(signal)
-            if sig_id is None:
-                sig_id = len(signal_ids)
-                signal_ids[signal] = sig_id
-                signal_is_input.append(sg.is_input_signal(signal))
-            arcs.append((position[source], position[target], sig_id))
-        self.arcs = arcs
-        self.signal_is_input = signal_is_input
-
-    def mask_of(self, states: Sequence[State]) -> int:
-        position = self.position
-        mask = 0
-        for state in states:
-            mask |= 1 << position[state]
-        return mask
-
-    def states_of_mask(self, mask: int) -> List[int]:
-        indices = []
-        while mask:
-            low = mask & -mask
-            indices.append(low.bit_length() - 1)
-            mask ^= low
-        return indices
-
-
-def get_index(sg) -> StateIndex:
-    """The (cached) :class:`StateIndex` of ``sg``."""
-    if not caches.caches_enabled():
-        return StateIndex(sg)
-    cache = caches.get_cache(sg)
-    index = cache.extras.get("index")
-    if index is None:
-        index = StateIndex(sg)
-        cache.extras["index"] = index
-    return index
-
-
-def get_indexed_bricks(
-    sg, mode: str = "regions", max_explored: int = 20000
-) -> Tuple[List[FrozenSet[State]], List[int], List[Tuple[int, ...]]]:
-    """Bricks of ``sg`` with their bitmasks and sorted adjacency lists.
-
-    Returns ``(bricks, masks, adjacency)`` where ``bricks`` is the
-    object-space list of :func:`repro.engine.caches.get_bricks`,
-    ``masks[i]`` is the bitmask of ``bricks[i]`` and ``adjacency[i]`` the
-    sorted tuple of adjacent brick indices.
-    """
-    key = ("indexed-bricks", mode, max_explored)
-    cache = caches.get_cache(sg) if caches.caches_enabled() else None
-    if cache is not None:
-        bundle = cache.extras.get(key)
-        if bundle is not None:
-            return bundle
-    bricks = caches.get_bricks(sg, mode, max_explored)
-    index = get_index(sg)
-    masks = [index.mask_of(brick) for brick in bricks]
-    adjacency_sets = caches.get_adjacency(sg, mode, max_explored)
-    adjacency = [tuple(sorted(adjacency_sets[i])) for i in range(len(bricks))]
-    bundle = (bricks, masks, adjacency)
-    if cache is not None:
-        cache.extras[key] = bundle
-    return bundle
-
-
-class IndexedEvaluation:
-    """A candidate block with its side table and cost (index space)."""
-
-    __slots__ = ("mask", "size", "side", "cost")
-
-    def __init__(self, mask: int, size: int, side: bytearray, cost: Cost) -> None:
-        self.mask = mask
-        self.size = size
-        self.side = side
-        self.cost = cost
-
-    def to_partition(self, index: StateIndex) -> IPartition:
-        """The object-space I-partition this evaluation describes."""
-        buckets: Tuple[List[State], List[State], List[State], List[State]] = (
-            [],
-            [],
-            [],
-            [],
-        )
-        states = index.states
-        for i, code in enumerate(self.side):
-            buckets[code].append(states[i])
-        return IPartition(
-            s0=frozenset(buckets[S0]),
-            splus=frozenset(buckets[SPLUS]),
-            s1=frozenset(buckets[S1]),
-            sminus=frozenset(buckets[SMINUS]),
-        )
-
-    def block_states(self, index: StateIndex) -> FrozenSet[State]:
-        states = index.states
-        return frozenset(
-            states[i] for i, code in enumerate(self.side) if code in (S0, SPLUS)
-        )
-
-
-def _min_wellformed_exit_border(
-    members: List[int], member: bytearray, succ: List[Tuple[int, ...]]
-) -> Set[int]:
-    """Index-space MWFEB: exit border closed under in-block successors."""
-    border: Set[int] = set()
-    for i in members:
-        for t in succ[i]:
-            if not member[t]:
-                border.add(i)
-                break
-    stack = list(border)
-    while stack:
-        i = stack.pop()
-        for t in succ[i]:
-            if member[t] and t not in border:
-                border.add(t)
-                stack.append(t)
-    return border
-
-
-class IndexedEvaluator:
-    """Memoized block evaluation for one insertion search.
-
-    Evaluations are keyed by block bitmask (equivalently: by the block's
-    state frozenset), so repeated unions explored by the frontier growth,
-    the greedy merge and the concurrency enlargement are costed once.
-    """
-
-    __slots__ = (
-        "index",
-        "conflict_pairs",
-        "count_input_delays",
-        "memo",
-        "hits",
-        "misses",
-    )
-
-    def __init__(self, sg, conflicts, allow_input_delay: bool) -> None:
-        self.index = get_index(sg)
-        position = self.index.position
-        self.conflict_pairs = [
-            (position[conflict.first], position[conflict.second])
-            for conflict in conflicts
-        ]
-        self.count_input_delays = not allow_input_delay
-        self.memo: Dict[int, Optional[IndexedEvaluation]] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
-        """Evaluate a block bitmask (``None`` for degenerate blocks)."""
-        found = self.memo.get(mask, _MISSING)
-        if found is not _MISSING:
-            self.hits += 1
-            return found
-        self.misses += 1
-        evaluation = self._evaluate(mask)
-        self.memo[mask] = evaluation
-        return evaluation
-
-    def _evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
-        index = self.index
-        n = index.num_states
-        if mask == 0 or mask == index.full_mask:
-            return None
-        size = mask.bit_count()
-        if size >= n:
-            return None
-
-        succ = index.succ_targets
-        member = bytearray(n)
-        block_members = index.states_of_mask(mask)
-        for i in block_members:
-            member[i] = 1
-        splus = _min_wellformed_exit_border(block_members, member, succ)
-        if not splus:
-            return None
-
-        co_member = bytearray(1 if not m else 0 for m in member)
-        co_members = [i for i in range(n) if co_member[i]]
-        sminus = _min_wellformed_exit_border(co_members, co_member, succ)
-        if not sminus:
-            return None
-
-        side = bytearray(n)
-        for i in co_members:
-            side[i] = S1
-        for i in splus:
-            side[i] = SPLUS
-        for i in sminus:
-            side[i] = SMINUS
-
-        unsolved = 0
-        for first, second in self.conflict_pairs:
-            a = side[first]
-            b = side[second]
-            if not ((a == S0 and b == S1) or (a == S1 and b == S0)):
-                unsolved += 1
-
-        entering_plus: Set[int] = set()
-        entering_minus: Set[int] = set()
-        delayed: Set[int] = set()
-        for source, target, signal in index.arcs:
-            ss = side[source]
-            st = side[target]
-            if st == SPLUS:
-                if ss != SPLUS:
-                    entering_plus.add(signal)
-                if ss == SMINUS:
-                    delayed.add(signal)
-            elif st == SMINUS:
-                if ss != SMINUS:
-                    entering_minus.add(signal)
-                if ss == SPLUS:
-                    delayed.add(signal)
-            elif ss == SPLUS:
-                if st == S1:
-                    delayed.add(signal)
-            elif ss == SMINUS:
-                if st == S0:
-                    delayed.add(signal)
-
-        input_delays = 0
-        if self.count_input_delays:
-            is_input = index.signal_is_input
-            input_delays = sum(1 for signal in delayed if is_input[signal])
-
-        cost = Cost(
-            unsolved_conflicts=unsolved,
-            input_delays=input_delays,
-            trigger_estimate=len(entering_plus) + len(entering_minus) + len(delayed),
-            border_size=len(splus) + len(sminus),
-        )
-        return IndexedEvaluation(mask, size, side, cost)
-
-
-_MISSING = object()
+__all__ = [
+    "S0",
+    "S1",
+    "SMINUS",
+    "SPLUS",
+    "IndexedEvaluation",
+    "IndexedEvaluator",
+    "IndexedStateGraph",
+    "StateIndex",
+    "get_index",
+    "get_indexed_bricks",
+    "indexed_brick_bundle",
+    "indexed_state_graph",
+]

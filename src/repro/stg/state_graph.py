@@ -203,6 +203,21 @@ class StateGraph:
         state.pop("_repro_cache", None)
         return state
 
+    def indexed(self):
+        """The canonical integer/bitset view of this graph.
+
+        Convenience accessor for
+        :func:`repro.core.indexed.indexed_state_graph`: the
+        :class:`~repro.core.indexed.IndexedStateGraph` the core CSC
+        pipeline computes on, built once per graph and cached by the
+        engine (derived by index arithmetic for graphs produced by
+        signal insertion).  Imported lazily — the stg layer itself does
+        not depend on the core.
+        """
+        from repro.core.indexed import indexed_state_graph
+
+        return indexed_state_graph(self)
+
     def copy(self) -> "StateGraph":
         return StateGraph(
             self.ts.copy(),

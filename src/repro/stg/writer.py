@@ -3,6 +3,16 @@
 ``stg_to_g_text`` is the inverse of :func:`repro.stg.parser.parse_g` up to
 formatting: parsing the produced text yields an STG with the same places,
 transitions, arcs and initial marking.
+
+The output is *canonical*: ``.graph`` lines are emitted transition-major
+in sorted order (targets sorted within each line, place lines sorted
+after them) and the ``.marking`` tokens are sorted, so any two
+structurally equal STGs serialise to the same bytes regardless of the
+order their nets were built in — ``write -> parse -> write`` is
+byte-stable (``tests/test_writer_roundtrip.py``).  Signal declaration
+lines keep declaration order: signal order is semantically meaningful
+(it fixes the code-vector layout of the state graph), and the parser
+preserves it, which is all byte-stability needs.
 """
 
 from __future__ import annotations
@@ -16,10 +26,10 @@ _IMPLICIT_RE = re.compile(r"^<([^,>]+),([^,>]+)>$")
 
 
 def _graph_lines(stg: STG) -> List[str]:
-    lines = []
     net = stg.net
     emitted_implicit = set()
 
+    transition_lines: List[str] = []
     for transition in net.transitions:
         targets: List[str] = []
         for place in net.postset(transition):
@@ -39,15 +49,16 @@ def _graph_lines(stg: STG) -> List[str]:
             else:
                 targets.append(str(place))
         if targets:
-            lines.append(f"{transition} " + " ".join(targets))
+            transition_lines.append(f"{transition} " + " ".join(sorted(targets)))
 
+    place_lines: List[str] = []
     for place in net.places:
         if place in emitted_implicit:
             continue
-        consumers = list(net.place_postset(place))
+        consumers = net.place_postset(place)
         if consumers:
-            lines.append(f"{place} " + " ".join(str(t) for t in consumers))
-    return lines
+            place_lines.append(f"{place} " + " ".join(sorted(str(t) for t in consumers)))
+    return sorted(transition_lines) + sorted(place_lines)
 
 
 def stg_to_g_text(stg: STG) -> str:
@@ -70,7 +81,7 @@ def stg_to_g_text(stg: STG) -> str:
         if count > 1:
             token = f"{token}={count}"
         marking_tokens.append(token)
-    parts.append(".marking { " + " ".join(marking_tokens) + " }")
+    parts.append(".marking { " + " ".join(sorted(marking_tokens)) + " }")
     parts.append(".end")
     return "\n".join(parts) + "\n"
 

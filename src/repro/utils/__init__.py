@@ -1,6 +1,12 @@
 """Small shared helpers used across the library."""
 
-from repro.utils.deadline import DeadlineExceeded, check_deadline, deadline, remaining_time
+from repro.utils.deadline import (
+    DeadlineExceeded,
+    check_deadline,
+    deadline,
+    poll_deadline,
+    remaining_time,
+)
 from repro.utils.ordered import OrderedSet, stable_sorted
 from repro.utils.timing import Stopwatch
 
@@ -11,5 +17,6 @@ __all__ = [
     "DeadlineExceeded",
     "check_deadline",
     "deadline",
+    "poll_deadline",
     "remaining_time",
 ]

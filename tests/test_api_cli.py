@@ -100,7 +100,7 @@ class TestCLI:
         ).read_text()
         assert 'dynamic = ["version"]' in pyproject
         assert 'version = { attr = "repro.__version__" }' in pyproject
-        assert repro.__version__ == "0.3.0"
+        assert repro.__version__ == "0.4.0"
 
     def test_bench_all_with_timeout_reports_timeouts(self, capsys):
         code = main(

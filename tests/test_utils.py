@@ -4,6 +4,14 @@ import time
 
 import pytest
 
+from repro.utils.deadline import (
+    _POLL_STRIDE,
+    DeadlineExceeded,
+    check_deadline,
+    deadline,
+    poll_deadline,
+    remaining_time,
+)
 from repro.utils.ordered import OrderedSet, stable_sorted
 from repro.utils.timing import Stopwatch
 
@@ -82,3 +90,54 @@ class TestStopwatch:
     def test_stop_before_start_raises(self):
         with pytest.raises(RuntimeError):
             Stopwatch().stop()
+
+
+class TestDeadline:
+    def test_check_deadline_noop_when_unarmed(self):
+        check_deadline()  # must not raise
+
+    def test_check_deadline_raises_after_expiry(self):
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.0):
+                time.sleep(0.002)
+                check_deadline()
+
+    def test_poll_deadline_noop_when_unarmed(self):
+        for _ in range(2000):
+            poll_deadline()  # must not raise regardless of stride position
+
+    def test_poll_deadline_raises_within_one_stride(self):
+        # The strided poll may skip up to _POLL_STRIDE - 1 clock reads,
+        # but an expired deadline must surface within one full stride.
+        with pytest.raises(DeadlineExceeded):
+            with deadline(0.0):
+                time.sleep(0.002)
+                for _ in range(2 * _POLL_STRIDE):
+                    poll_deadline()
+
+    def test_poll_deadline_cheap_path_does_not_read_clock(self, monkeypatch):
+        import sys
+
+        # The package re-exports the deadline() function under the same
+        # name as the submodule, so resolve the module via sys.modules.
+        dl = sys.modules["repro.utils.deadline"]
+
+        with deadline(60.0):
+            poll_deadline()  # leave the countdown mid-stride
+            reads = []
+            original = dl.time.monotonic
+            monkeypatch.setattr(dl.time, "monotonic", lambda: reads.append(1) or original())
+            for _ in range(_POLL_STRIDE // 4):
+                poll_deadline()
+            assert len(reads) <= 1  # at most the one strided read
+
+    def test_nested_deadline_only_tightens(self):
+        with deadline(60.0):
+            with deadline(None):
+                assert remaining_time() is not None and remaining_time() <= 60.0
+            with pytest.raises(DeadlineExceeded):
+                with deadline(0.0):
+                    time.sleep(0.002)
+                    check_deadline()
+            # The outer, generous deadline is back in force.
+            check_deadline()
