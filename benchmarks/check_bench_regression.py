@@ -1,24 +1,38 @@
-"""Bench-regression gate: fail CI when the indexed engine sweep regresses.
+"""Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Runs the full Table-2 sweep three ways via
-:func:`benchmarks.bench_batch_engine.run_batch_benchmark` (which also
-refreshes ``BENCH_batch.json``) and compares the new *engine serial*
-wall-clock against the committed baseline.
+Two suites, selected by ``--suite``:
+
+``table2`` (default)
+    Runs the full Table-2 sweep three ways via
+    :func:`benchmarks.bench_batch_engine.run_batch_benchmark` (which
+    also refreshes ``BENCH_batch.json``) and compares the new *engine
+    serial* wall-clock against the committed baseline.
+
+``table1``
+    Runs the Table-1 sweep via
+    :func:`benchmarks.bench_table1_large_stgs.run_table1_benchmark`
+    (refreshing ``BENCH_table1.json``) and gates the *symbolic* sweep
+    time — census, CSC detection and hybrid solving over every row,
+    including the explicitly-infeasible ones.  It also re-checks that
+    every deterministic verdict field (state counts, USC/CSC pair
+    counts, CSC verdicts, modes) reproduces the baseline exactly: a
+    verdict drift is a correctness bug, not a performance one.
 
 Raw wall-clock comparisons across CI runners would gate on machine
-speed, not on code.  The legacy object-space sweep is frozen code, so it
-serves as the machine-speed yardstick: the gate scales the committed
-engine-serial baseline by ``new_legacy / baseline_legacy`` and fails
-when the new engine-serial time exceeds that expectation by more than
-``--tolerance`` (default 25 %).  It also fails outright when the three
-sweeps stop being byte-identical.
+speed, not on code.  Each suite therefore carries its own frozen-code
+yardstick: the legacy object-space sweep for ``table2``, the explicit
+census of the enumerable Table-1 rows for ``table1``.  The gate scales
+the committed baseline by ``new_yardstick / baseline_yardstick`` and
+fails when the gated time exceeds that expectation by more than
+``--tolerance`` (default 25 %).
 
 Usage (CI runs exactly this)::
 
     python benchmarks/check_bench_regression.py --baseline BENCH_batch.json.orig
+    python benchmarks/check_bench_regression.py --suite table1 --baseline BENCH_table1.json.orig
 
-where the baseline file is a copy of the committed ``BENCH_batch.json``
-taken *before* the run refreshes it.
+where the baseline file is a copy of the committed record taken
+*before* the run refreshes it.
 """
 
 from __future__ import annotations
@@ -32,60 +46,141 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
+from bench_table1_large_stgs import (  # noqa: E402
+    RECORD_PATH as TABLE1_RECORD_PATH,
+    run_table1_benchmark,
+)
+
+#: Verdict fields that must reproduce exactly across machines.
+_TABLE1_VERDICT_FIELDS = (
+    "symbolic_states",
+    "explicit_states",
+    "usc_pairs",
+    "csc_pairs",
+    "csc_holds",
+    "mode",
+    "solved",
+    "inserted",
+)
+
+
+def _gate(name, base_yardstick, new_yardstick, base_gated, new_gated, tolerance) -> bool:
+    machine_factor = new_yardstick / base_yardstick
+    expected = base_gated * machine_factor
+    limit = expected * (1.0 + tolerance)
+    drift = new_gated / expected - 1.0
+    print(
+        f"yardstick: baseline {base_yardstick:.2f}s -> now {new_yardstick:.2f}s "
+        f"(machine factor {machine_factor:.2f}x)"
+    )
+    print(
+        f"{name}: baseline {base_gated:.2f}s -> now {new_gated:.2f}s "
+        f"(expected <= {limit:.2f}s at {tolerance:.0%} tolerance, drift {drift:+.1%})"
+    )
+    if new_gated > limit:
+        print(f"FAIL: {name} regressed beyond tolerance")
+        return False
+    return True
+
+
+def check_table2(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_batch_benchmark()
+
+    if not record["identical"]:
+        print("FAIL: engine/legacy/parallel sweeps are no longer byte-identical")
+        return 1
+
+    ok = _gate(
+        "engine serial",
+        float(baseline["serial_seconds"]),
+        float(record["serial_seconds"]),
+        float(baseline["engine_serial_seconds"]),
+        float(record["engine_serial_seconds"]),
+        tolerance,
+    )
+    print(
+        f"speedup vs legacy: "
+        f"{float(record['serial_seconds']) / float(record['engine_serial_seconds']):.2f}x; "
+        f"refreshed {RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
+def check_table1(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_table1_benchmark()
+
+    baseline_rows = {row["name"]: row for row in baseline["rows"]}
+    new_rows = {row["name"]: row for row in record["rows"]}
+    drifted = False
+    for name in baseline_rows.keys() - new_rows.keys():
+        # a baseline row with no counterpart means coverage shrank — the
+        # very drift this gate exists to catch
+        print(f"FAIL: Table-1 row {name} disappeared from the sweep")
+        drifted = True
+    for row in record["rows"]:
+        base_row = baseline_rows.get(row["name"])
+        if base_row is None:
+            print(f"note: new Table-1 row {row['name']} (no baseline verdict)")
+            continue
+        for field in _TABLE1_VERDICT_FIELDS:
+            if row.get(field) != base_row.get(field):
+                print(
+                    f"FAIL: verdict drift on {row['name']}.{field}: "
+                    f"baseline {base_row.get(field)!r} -> now {row.get(field)!r}"
+                )
+                drifted = True
+    if drifted:
+        return 1
+
+    ok = _gate(
+        "symbolic sweep",
+        float(baseline["explicit_total_seconds"]),
+        float(record["explicit_total_seconds"]),
+        float(baseline["symbolic_total_seconds"]),
+        float(record["symbolic_total_seconds"]),
+        tolerance,
+    )
+    print(f"refreshed {TABLE1_RECORD_PATH}")
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--suite",
+        choices=["table2", "table1"],
+        default="table2",
+        help="which sweep to gate (default: the Table-2 engine sweep)",
+    )
+    parser.add_argument(
         "--baseline",
         type=pathlib.Path,
         default=None,
-        help="committed BENCH_batch.json to gate against (default: the "
+        help="committed benchmark record to gate against (default: the "
         "repository copy, read before the sweep refreshes it)",
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed fractional slowdown of the engine serial sweep "
+        help="allowed fractional slowdown of the gated sweep "
         "(default 0.25 = fail on >25%% regression)",
     )
     args = parser.parse_args(argv)
 
+    if args.suite == "table1":
+        baseline_path = args.baseline or TABLE1_RECORD_PATH
+        return check_table1(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
-    baseline = json.loads(baseline_path.read_text())
-    base_engine = float(baseline["engine_serial_seconds"])
-    base_legacy = float(baseline["serial_seconds"])
-
-    record = run_batch_benchmark()
-    new_engine = float(record["engine_serial_seconds"])
-    new_legacy = float(record["serial_seconds"])
-
-    if not record["identical"]:
-        print("FAIL: engine/legacy/parallel sweeps are no longer byte-identical")
-        return 1
-
-    machine_factor = new_legacy / base_legacy
-    expected_engine = base_engine * machine_factor
-    limit = expected_engine * (1.0 + args.tolerance)
-    slowdown = new_engine / expected_engine - 1.0
-
-    print(
-        f"legacy serial: baseline {base_legacy:.2f}s -> now {new_legacy:.2f}s "
-        f"(machine factor {machine_factor:.2f}x)"
-    )
-    print(
-        f"engine serial: baseline {base_engine:.2f}s -> now {new_engine:.2f}s "
-        f"(expected <= {limit:.2f}s at {args.tolerance:.0%} tolerance, "
-        f"drift {slowdown:+.1%})"
-    )
-    print(f"speedup vs legacy: {new_legacy / new_engine:.2f}x; refreshed {RECORD_PATH}")
-
-    if new_engine > limit:
-        print("FAIL: engine serial sweep regressed beyond tolerance")
-        return 1
-    print("OK: no bench regression")
-    return 0
+    return check_table2(baseline_path, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,19 @@ used by the Table 1 harness to count the states of the largest benchmarks
 without enumerating them explicitly.
 """
 
-from repro.bdd.bdd import BDD
+from repro.bdd.bdd import (
+    BDD,
+    interleaved_pair_levels,
+    prime_map,
+    unprime_map,
+)
 from repro.bdd.symbolic import SymbolicReachability, symbolic_state_count
 
-__all__ = ["BDD", "SymbolicReachability", "symbolic_state_count"]
+__all__ = [
+    "BDD",
+    "SymbolicReachability",
+    "symbolic_state_count",
+    "interleaved_pair_levels",
+    "prime_map",
+    "unprime_map",
+]

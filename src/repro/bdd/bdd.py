@@ -4,13 +4,28 @@ Nodes are identified by integers: ``0`` and ``1`` are the terminal nodes,
 every other node is a triple ``(level, low, high)`` interned in a unique
 table, so structural equality is pointer equality.  The manager offers the
 classical ``ite``-based boolean operations, existential quantification,
-restriction and satisfying-assignment counting — everything the symbolic
-reachability engine needs, and nothing more.
+restriction, variable renaming and satisfying-assignment counting —
+everything the symbolic reachability engine and the symbolic encoding
+tier (:mod:`repro.symbolic`) need, and nothing more.
+
+The operation caches (``ite`` and ``exists``) are *accounted* — hit,
+miss and flush counters are exposed via :meth:`BDD.cache_stats` — and
+optionally *bounded*: with ``max_cache_entries`` set, a cache that grows
+past the bound is flushed, trading recomputation for memory (the classic
+BDD-package behaviour; correctness is unaffected because the caches only
+memoize pure operations).
+
+Relational operations (transition images, the code-equality relation of
+the CSC detector) work on *primed pairs* of variables: variable ``i`` of
+the unprimed copy lives at level ``2*i`` and its primed twin at level
+``2*i + 1``.  The interleaving keeps per-pair equality constraints linear
+in the number of pairs; :func:`interleaved_pair_levels`,
+:func:`prime_map` and :func:`unprime_map` build the level bookkeeping.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 Node = int
 
@@ -18,13 +33,44 @@ FALSE: Node = 0
 TRUE: Node = 1
 
 
+# ----------------------------------------------------------------------
+# interleaved primed-variable helpers
+# ----------------------------------------------------------------------
+def interleaved_pair_levels(num_pairs: int) -> Tuple[List[int], List[int]]:
+    """Levels of the unprimed and primed copies of ``num_pairs`` variables.
+
+    Pair ``i`` occupies levels ``2*i`` (unprimed) and ``2*i + 1``
+    (primed); a manager holding both copies needs ``2 * num_pairs``
+    variables.  Returns ``(unprimed_levels, primed_levels)``.
+    """
+    if num_pairs < 0:
+        raise ValueError("number of variable pairs must be non-negative")
+    return (
+        [2 * i for i in range(num_pairs)],
+        [2 * i + 1 for i in range(num_pairs)],
+    )
+
+
+def prime_map(num_pairs: int) -> Dict[int, int]:
+    """The :meth:`BDD.rename` mapping from unprimed to primed levels."""
+    return {2 * i: 2 * i + 1 for i in range(num_pairs)}
+
+
+def unprime_map(num_pairs: int) -> Dict[int, int]:
+    """The :meth:`BDD.rename` mapping from primed to unprimed levels."""
+    return {2 * i + 1: 2 * i for i in range(num_pairs)}
+
+
 class BDD:
     """A manager for ROBDDs over a fixed ordered set of variables."""
 
-    def __init__(self, num_vars: int) -> None:
+    def __init__(self, num_vars: int, max_cache_entries: Optional[int] = None) -> None:
         if num_vars < 0:
             raise ValueError("number of variables must be non-negative")
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive (or None)")
         self.num_vars = num_vars
+        self.max_cache_entries = max_cache_entries
         # node id -> (level, low, high); terminals use level == num_vars.
         self._nodes: List[Tuple[int, Node, Node]] = [
             (num_vars, FALSE, FALSE),  # terminal 0
@@ -33,6 +79,9 @@ class BDD:
         self._unique: Dict[Tuple[int, Node, Node], Node] = {}
         self._ite_cache: Dict[Tuple[Node, Node, Node], Node] = {}
         self._exists_cache: Dict[Tuple[Node, Tuple[int, ...]], Node] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_flushes = 0
 
     # ------------------------------------------------------------------
     # node handling
@@ -108,7 +157,9 @@ class BDD:
         key = (condition, then_part, else_part)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._cache_hits += 1
             return cached
+        self._cache_misses += 1
         top = min(self.level(condition), self.level(then_part), self.level(else_part))
         low = self.ite(
             self._cofactor(condition, top, 0),
@@ -121,6 +172,12 @@ class BDD:
             self._cofactor(else_part, top, 1),
         )
         result = self._make_node(top, low, high)
+        if (
+            self.max_cache_entries is not None
+            and len(self._ite_cache) >= self.max_cache_entries
+        ):
+            self._ite_cache.clear()
+            self._cache_flushes += 1
         self._ite_cache[key] = result
         return result
 
@@ -143,6 +200,10 @@ class BDD:
 
     def apply_xor(self, first: Node, second: Node) -> Node:
         return self.ite(first, self.apply_not(second), second)
+
+    def apply_eq(self, first: Node, second: Node) -> Node:
+        """Biconditional ``first <-> second`` (XNOR)."""
+        return self.ite(first, second, self.apply_not(second))
 
     def apply_diff(self, first: Node, second: Node) -> Node:
         """``first AND NOT second``."""
@@ -188,7 +249,9 @@ class BDD:
         key = (node, var_tuple)
         cached = self._exists_cache.get(key)
         if cached is not None:
+            self._cache_hits += 1
             return cached
+        self._cache_misses += 1
         level = self.level(node)
         remaining = tuple(v for v in var_tuple if v >= level)
         if not remaining:
@@ -200,12 +263,88 @@ class BDD:
                 result = self.apply_or(low, high)
             else:
                 result = self._make_node(level, low, high)
+        if (
+            self.max_cache_entries is not None
+            and len(self._exists_cache) >= self.max_cache_entries
+        ):
+            self._exists_cache.clear()
+            self._cache_flushes += 1
         self._exists_cache[key] = result
         return result
 
     # ------------------------------------------------------------------
+    # cache accounting
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/flush counters and current sizes of the operation caches."""
+        total = self._cache_hits + self._cache_misses
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "flushes": self._cache_flushes,
+            "hit_rate": round(self._cache_hits / total, 4) if total else 0.0,
+            "ite_entries": len(self._ite_cache),
+            "exists_entries": len(self._exists_cache),
+            "max_cache_entries": self.max_cache_entries,
+            "nodes": self.num_nodes,
+        }
+
+    def rename(self, node: Node, mapping: Dict[int, int]) -> Node:
+        """Substitute variables by variables (``{old_level: new_level}``).
+
+        The mapping must preserve the variable order on the support of
+        ``node`` (strictly increasing old levels map to strictly
+        increasing new levels), which makes the substitution a single
+        structural walk — exactly the shape of priming/unpriming one copy
+        of an interleaved relational encoding (:func:`prime_map` /
+        :func:`unprime_map`).  Raises :class:`ValueError` for mappings
+        that would reorder the support.
+        """
+        support = sorted(self.support(node))
+        images = []
+        for old in support:
+            new = mapping.get(old, old)
+            if not 0 <= new < self.num_vars:
+                raise ValueError(f"rename target {new} out of range")
+            images.append(new)
+        if any(b <= a for a, b in zip(images, images[1:])):
+            raise ValueError(
+                "rename mapping must preserve the variable order on the support"
+            )
+        cache: Dict[Node, Node] = {}
+
+        def walk(current: Node) -> Node:
+            if current in (TRUE, FALSE):
+                return current
+            found = cache.get(current)
+            if found is not None:
+                return found
+            level, low, high = self._nodes[current]
+            result = self._make_node(mapping.get(level, level), walk(low), walk(high))
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    # ------------------------------------------------------------------
     # analysis
     # ------------------------------------------------------------------
+    def support(self, node: Node) -> Set[int]:
+        """The set of variable levels ``node`` actually depends on."""
+        seen: Set[Node] = set()
+        levels: Set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in (TRUE, FALSE) or current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return levels
+
     def evaluate(self, node: Node, assignment: Sequence[int]) -> int:
         """Evaluate the function under a full assignment (list of 0/1)."""
         current = node
@@ -240,6 +379,74 @@ class BDD:
             return result
 
         return count_below(node) << self.level(node)
+
+    def sat_count(self, node: Node, variables: Sequence[int]) -> int:
+        """Satisfying assignments of ``node`` over exactly ``variables``.
+
+        Unlike :meth:`count_solutions` (which counts over all
+        ``num_vars`` variables), this counts assignments to the given
+        variable set only — the right notion when a manager holds both
+        state variables and their primed twins but the counted function
+        ranges over one copy.  Raises :class:`ValueError` when ``node``
+        depends on a variable outside the set.
+        """
+        ordered = sorted(set(variables))
+        position = {level: i for i, level in enumerate(ordered)}
+        total = len(ordered)
+        cache: Dict[Node, int] = {}
+
+        def pos_of(current: Node) -> int:
+            level = self.level(current)
+            if level == self.num_vars:  # terminal
+                return total
+            found = position.get(level)
+            if found is None:
+                raise ValueError(
+                    f"function depends on variable {level}, which is not in the "
+                    "counted set"
+                )
+            return found
+
+        def count_below(current: Node) -> int:
+            if current == FALSE:
+                return 0
+            if current == TRUE:
+                return 1
+            if current in cache:
+                return cache[current]
+            here = pos_of(current)
+            low = self.low(current)
+            high = self.high(current)
+            result = (count_below(low) << (pos_of(low) - here - 1)) + (
+                count_below(high) << (pos_of(high) - here - 1)
+            )
+            cache[current] = result
+            return result
+
+        if node == FALSE:
+            return 0
+        return count_below(node) << pos_of(node)
+
+    def pick_cube(self, node: Node) -> Optional[Dict[int, int]]:
+        """One satisfying partial assignment as ``{level: 0/1}``.
+
+        Deterministic (prefers the 0-branch at every node); variables the
+        chosen path does not constrain are absent from the cube.  Returns
+        ``None`` when the function is unsatisfiable.
+        """
+        if node == FALSE:
+            return None
+        cube: Dict[int, int] = {}
+        current = node
+        while current != TRUE:
+            level, low, high = self._nodes[current]
+            if low != FALSE:
+                cube[level] = 0
+                current = low
+            else:
+                cube[level] = 1
+                current = high
+        return cube
 
     def satisfying_assignments(self, node: Node, limit: Optional[int] = None):
         """Yield satisfying assignments as tuples of 0/1 (testing helper)."""

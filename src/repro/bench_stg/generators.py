@@ -208,6 +208,63 @@ def independent_toggles(num_stages: int, name: str = "") -> STG:
     return STG.from_arcs(name, inputs=inputs, outputs=outputs, arcs=arcs, marking=marking)
 
 
+def pipeline(num_stages: int, name: str = "") -> STG:
+    """A chain of ``num_stages`` toggle stages coupled like a pipeline.
+
+    Each stage is the six-state toggle cycle of :func:`toggle_element`
+    (input ``a_i``, output ``b_i``); neighbouring stages are coupled in
+    both directions — forward, stage ``i+1``'s rises are triggered by
+    stage ``i``'s output edges (``b_i+ -> a_{i+1}+/1``,
+    ``b_i- -> a_{i+1}+/2``), and backward, stage ``i``'s rises wait for
+    stage ``i+1`` to consume the previous item (``a_{i+1}+/1 -> a_i+/2``,
+    ``a_{i+1}+/2 -> a_i+/1``).  The forward arcs make data flow down the
+    chain, the backward arcs provide the bounded-slack back-pressure
+    that keeps the net safe.  Unlike :func:`independent_toggles` (whose
+    stages never interact) the stages here genuinely overlap like a
+    micropipeline's control, while still growing an exponential state
+    space — the coupled substitute for the very large ``pipe``
+    benchmarks of Table 1.  Toggles have no input-preserving solution,
+    so CSC solving needs ``allow_input_delay`` mode.
+    """
+    if num_stages < 1:
+        raise ValueError("need at least one stage")
+    name = name or f"pipeline{num_stages}"
+    inputs, outputs = [], []
+    arcs: List[Arc] = []
+    marking: List[Tuple[str, str]] = []
+    for index in range(1, num_stages + 1):
+        a, b = f"a{index}", f"b{index}"
+        inputs.append(a)
+        outputs.append(b)
+        arcs.extend(
+            [
+                (f"{a}+/1", f"{b}+"),
+                (f"{b}+", f"{a}-/1"),
+                (f"{a}-/1", f"{a}+/2"),
+                (f"{a}+/2", f"{b}-"),
+                (f"{b}-", f"{a}-/2"),
+                (f"{a}-/2", f"{a}+/1"),
+            ]
+        )
+        marking.append((f"{a}-/2", f"{a}+/1"))
+        if index > 1:
+            prev_b, prev_a = f"b{index - 1}", f"a{index - 1}"
+            arcs.extend(
+                [
+                    (f"{prev_b}+", f"{a}+/1"),
+                    (f"{prev_b}-", f"{a}+/2"),
+                    (f"{a}+/1", f"{prev_a}+/2"),
+                    (f"{a}+/2", f"{prev_a}+/1"),
+                ]
+            )
+            # One token of slack on the second back-pressure place: stage i
+            # may start its first cycle before stage i+1 ever fires (the
+            # first place gets its token naturally, because ``a_{i+1}+/1``
+            # only waits for ``b_i+`` and fires before ``a_i+/2`` needs it).
+            marking.append((f"{a}+/2", f"{prev_a}+/1"))
+    return STG.from_arcs(name, inputs=inputs, outputs=outputs, arcs=arcs, marking=marking)
+
+
 def ripple_counter(num_bits: int, name: str = "") -> STG:
     """An asynchronous ripple (modulo ``2**num_bits``) counter.
 

@@ -102,8 +102,14 @@ TABLE1_CASES: List[BenchmarkCase] = [
     _case("adfast", lambda: gen.mixed_controller(1, 6), "A/D converter controller analogue", "table1"),
     _case("par8", lambda: gen.parallel_toggles(8), "eight concurrently toggling outputs", "table1", mode="relaxed", solve=False),
     _case("par16", lambda: gen.parallel_toggles(16), "sixteen concurrently toggling outputs", "table1", mode="relaxed", solve=False, explicit_ok=False),
+    _case("par24", lambda: gen.parallel_toggles(24), "twenty-four concurrently toggling outputs", "table1", mode="relaxed", solve=False, explicit_ok=False),
     _case("pipe8", lambda: gen.independent_toggles(8), "eight independent toggle stages (pipeline analogue)", "table1", mode="relaxed", solve=False, explicit_ok=False),
     _case("pipe16", lambda: gen.independent_toggles(16), "sixteen independent toggle stages (pipeline analogue)", "table1", mode="relaxed", solve=False, explicit_ok=False),
+    _case("pipe24", lambda: gen.independent_toggles(24), "twenty-four independent toggle stages (pipeline analogue)", "table1", mode="relaxed", solve=False, explicit_ok=False),
+    _case("pipeline3", lambda: gen.pipeline(3), "three coupled pipeline toggle stages", "table1", mode="relaxed"),
+    _case("pipeline4", lambda: gen.pipeline(4), "four coupled pipeline toggle stages", "table1", mode="relaxed", solve=False),
+    _case("pipeline8", lambda: gen.pipeline(8), "eight coupled pipeline toggle stages", "table1", mode="relaxed", solve=False, explicit_ok=False),
+    _case("pipeline12", lambda: gen.pipeline(12), "twelve coupled pipeline toggle stages", "table1", mode="relaxed", solve=False, explicit_ok=False),
 ]
 
 

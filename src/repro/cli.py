@@ -1,12 +1,18 @@
 """Command-line front end (``pyetrify``).
 
-Four sub-commands mirror the workflow of the original tool plus the
-service tier grown on top of it:
+Six sub-commands mirror the workflow of the original tool plus the
+service and symbolic tiers grown on top of it:
 
 * ``info FILE.g``  — size, consistency and CSC statistics of an STG;
 * ``solve FILE.g`` — insert state signals until CSC holds, report the
   inserted signals and the logic estimate, optionally write the encoded
   specification back as a ``.g`` file;
+* ``census``       — symbolic (BDD) state-space census: the exact number
+  of reachable states without enumerating any of them
+  (``pyetrify census --benchmark pipe16 --table table1``);
+* ``check-csc``    — symbolic CSC verdict: USC/CSC conflict pair counts
+  and witness cubes via the code-equality relation, again without
+  enumeration;
 * ``bench NAME``   — run a named benchmark from the built-in library;
 * ``serve``        — run the encoding service: a durable job queue, a
   content-addressed result store and a JSON HTTP API over the batch
@@ -20,6 +26,9 @@ keeps only the K smallest STGs (the CI smoke job uses 3), and
 as its benchmark artifact.  In ``--all`` mode each case runs with its
 own library settings (frontier width 16, relaxed cases with
 ``allow_input_delay``), matching the Table-1/Table-2 harnesses.
+``--engine symbolic`` (or ``auto``) routes the run through the symbolic
+tier, which also admits the very large Table-1 rows the explicit engine
+must skip.
 """
 
 from __future__ import annotations
@@ -48,6 +57,51 @@ def _solver_settings(args: argparse.Namespace) -> SolverSettings:
         max_signals=args.max_signals if args.max_signals is not None else 32,
         verbose=args.verbose,
     )
+
+
+def _load_stg(args: argparse.Namespace):
+    """The STG a census/check-csc invocation refers to (file or benchmark)."""
+    if (args.file is None) == (args.benchmark is None):
+        print("error: provide a .g file or --benchmark NAME (not both)", file=sys.stderr)
+        return None
+    if args.file is not None:
+        return read_g_file(args.file)
+    return load_benchmark(args.benchmark, table=args.table)
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.symbolic import symbolic_census
+
+    stg = _load_stg(args)
+    if stg is None:
+        return 2
+    census = symbolic_census(stg)
+    row = census.as_dict()
+    cache = row.pop("cache")
+    row["cache_hit_rate"] = cache.get("hit_rate")
+    width = max(len(key) for key in row)
+    for key, value in row.items():
+        print(f"{key:<{width}} : {value}")
+    return 0
+
+
+def _cmd_check_csc(args: argparse.Namespace) -> int:
+    from repro.symbolic import symbolic_check_csc
+
+    stg = _load_stg(args)
+    if stg is None:
+        return 2
+    report = symbolic_check_csc(stg, witness_limit=args.witnesses)
+    row = report.as_dict()
+    witnesses = row.pop("witnesses")
+    width = max(len(key) for key in row)
+    for key, value in row.items():
+        print(f"{key:<{width}} : {value}")
+    for index, witness in enumerate(witnesses):
+        print(f"witness {index + 1}: code={witness['code']}")
+        print(f"  first  : {', '.join(witness['first_marking'])}")
+        print(f"  second : {', '.join(witness['second_marking'])}")
+    return 0 if report.csc_holds else 2
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -102,6 +156,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --table all requires --all or --list", file=sys.stderr)
         return 2
     stg = load_benchmark(args.name, table=args.table)
+    if args.engine != "explicit":
+        from repro.engine.batch import encode_many
+
+        batch = encode_many(
+            [stg],
+            settings=[_solver_settings(args)],
+            max_states=args.max_states,
+            engine=args.engine,
+        )
+        item = batch.items[0]
+        if item.error is not None:
+            print(f"error: {item.error}", file=sys.stderr)
+            return 2
+        for key, value in item.table_row.items():
+            print(f"{key:<12} : {value}")
+        return 0 if item.solved else 2
     report = encode_stg(stg, settings=_solver_settings(args), max_states=args.max_states)
     for key, value in report.table_row().items():
         print(f"{key:<12} : {value}")
@@ -126,6 +196,7 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         max_states=args.max_states,
         timeout=args.timeout,
+        engine=args.engine,
     )
     name_width = max((len(item.name) for item in result.items), default=4)
     for item in result.items:
@@ -224,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--max-states", type=int, default=200000)
     info.set_defaults(handler=_cmd_info)
 
+    def add_symbolic_input(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("file", nargs="?", help="input .g file")
+        sub.add_argument("--benchmark", metavar="NAME", help="use a built-in benchmark instead of a file")
+        sub.add_argument("--table", choices=["table1", "table2"], default="table2", help="library table of --benchmark")
+
+    census = subparsers.add_parser(
+        "census", help="symbolic (BDD) state-space census — exact state count without enumeration"
+    )
+    add_symbolic_input(census)
+    census.set_defaults(handler=_cmd_census)
+
+    check = subparsers.add_parser(
+        "check-csc", help="symbolic CSC verdict — conflict pair counts and witnesses without enumeration"
+    )
+    add_symbolic_input(check)
+    check.add_argument("--witnesses", type=int, default=4, metavar="N", help="conflict witness cubes to decode (default 4)")
+    check.set_defaults(handler=_cmd_check_csc)
+
     solve = subparsers.add_parser("solve", help="insert state signals until CSC holds")
     solve.add_argument("file", help="input .g file")
     solve.add_argument("-o", "--output", help="write the encoded STG to this .g file")
@@ -241,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smallest", type=int, default=None, metavar="K", help="with --all: keep only the K smallest STGs")
     bench.add_argument("--json", default=None, metavar="FILE", help="with --all: write the batch record as JSON")
     bench.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="with --all: per-benchmark wall-clock bound (timed-out cases report status=timeout)")
+    bench.add_argument("--engine", choices=["explicit", "symbolic", "auto"], default="explicit", help="pipeline to run: explicit enumeration, the symbolic (BDD) tier, or auto (symbolic census first)")
     add_common(bench)
     bench.set_defaults(handler=_cmd_bench)
 

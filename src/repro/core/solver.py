@@ -21,15 +21,33 @@ from repro.utils.deadline import check_deadline
 from repro.utils.timing import Stopwatch
 
 
+#: Valid values of :attr:`SolverSettings.engine`.
+ENGINES = ("explicit", "symbolic", "auto")
+
+
 @dataclass
 class SolverSettings:
-    """Configuration of the iterative CSC solver."""
+    """Configuration of the iterative CSC solver.
+
+    ``engine`` selects the pipeline the batch engine and the service run
+    the request through: ``"explicit"`` enumerates the state graph as
+    always, ``"symbolic"`` runs the BDD-backed front half
+    (:mod:`repro.symbolic`) with the hybrid bridge, and ``"auto"`` takes
+    a symbolic census first and falls back to the explicit pipeline only
+    when the state count fits the ``max_states`` budget.  The field is
+    carried here (rather than as ad-hoc plumbing) because the engine
+    choice is part of the request's identity: the service fingerprints
+    it along with every other solver knob.  ``solve_csc`` itself always
+    works on an explicit graph; dispatch happens in
+    :mod:`repro.engine.batch`.
+    """
 
     search: SearchSettings = field(default_factory=SearchSettings)
     max_signals: int = 32
     signal_prefix: str = "csc"
     verbose: bool = False
     require_progress: bool = True
+    engine: str = "explicit"
 
 
 @dataclass

@@ -8,10 +8,22 @@ results are deterministic, and a parallel run is byte-identical to a
 serial run of the same inputs (the determinism tests assert exactly
 that).
 
+Each item runs through one of three *engines* (chosen per request by
+``SolverSettings.engine`` or for the whole batch by the ``engine``
+argument): ``"explicit"`` is the classical enumerate-then-solve
+pipeline; ``"symbolic"`` never enumerates the state space up front —
+census and CSC conflict detection run on BDDs
+(:mod:`repro.symbolic`) and the explicit solver is only bridged in for
+a conflict core that fits the state budget; ``"auto"`` takes a symbolic
+census first and uses the explicit pipeline only when the state count
+fits within ``max_states``.
+
 ``run_benchmark_suite`` applies it to the built-in benchmark library
-(``pyetrify bench --all --jobs N``), using each case's own solver
-settings so relaxed benchmarks get ``allow_input_delay`` just as the
-table harnesses do.
+(``pyetrify bench --all --jobs N [--engine symbolic]``), using each
+case's own solver settings so relaxed benchmarks get
+``allow_input_delay`` just as the table harnesses do.  With a symbolic
+engine the sweep also admits the Table-1 rows that are infeasible
+explicitly (``explicit_ok=False``) — the workload this tier opens up.
 """
 
 from __future__ import annotations
@@ -21,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
-from repro.core.solver import SolverSettings
+from repro.core.solver import ENGINES, SolverSettings
 from repro.engine.caches import use_caches
 from repro.stg.stg import STG
 from repro.utils.deadline import DeadlineExceeded, deadline
@@ -45,12 +57,25 @@ class BatchItem:
     seconds: float = 0.0
     error: Optional[str] = None
     status: str = "ok"
+    engine: str = "explicit"
+    census: Optional[Dict[str, object]] = None  # symbolic/auto engines only
 
     def fingerprint(self) -> Dict[str, object]:
-        """Result identity minus timing (for serial-vs-parallel checks)."""
+        """Result identity minus timing (for serial-vs-parallel checks).
+
+        ``census`` stays out: its BDD statistics are deterministic but
+        its seconds are not, and the census is bookkeeping about *how*
+        the result was obtained, not part of the result.
+        """
         flat = {key: value for key, value in self.summary.items() if key != "cpu_seconds"}
         row = {key: value for key, value in self.table_row.items() if key != "cpu"}
-        return {"summary": flat, "table_row": row, "error": self.error, "status": self.status}
+        return {
+            "summary": flat,
+            "table_row": row,
+            "error": self.error,
+            "status": self.status,
+            "engine": self.engine,
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -61,6 +86,8 @@ class BatchItem:
             "seconds": round(self.seconds, 3),
             "error": self.error,
             "status": self.status,
+            "engine": self.engine,
+            "census": self.census,
         }
 
 
@@ -91,6 +118,17 @@ class BatchResult:
         }
 
 
+def resolve_engine(
+    settings: Optional[SolverSettings], override: Optional[str] = None
+) -> str:
+    """The engine one request runs through (override > settings > explicit)."""
+    engine = override if override is not None else getattr(settings, "engine", None)
+    engine = engine or "explicit"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
 def _encode_one(payload) -> BatchItem:
     """Worker body: encode one STG and reduce the report to a BatchItem.
 
@@ -98,17 +136,29 @@ def _encode_one(payload) -> BatchItem:
     everything the worker needs (the cache switch included, so a
     cache-disabled baseline run stays cache-free inside the workers).
     """
-    stg, settings, estimate_logic, max_states, caches_on, timeout = payload
+    stg, settings, estimate_logic, max_states, caches_on, timeout, engine = payload
     from repro.api import encode_stg  # deferred: repro.api imports this package
 
     watch = Stopwatch().start()
     try:
         with use_caches(caches_on), deadline(timeout):
-            report = encode_stg(
-                stg,
-                settings=settings,
-                estimate_logic=estimate_logic,
-                max_states=max_states,
+            if engine == "explicit":
+                report = encode_stg(
+                    stg,
+                    settings=settings,
+                    estimate_logic=estimate_logic,
+                    max_states=max_states,
+                )
+                return BatchItem(
+                    name=stg.name,
+                    solved=report.solved,
+                    summary=report.result.summary(),
+                    table_row=report.table_row(),
+                    seconds=report.total_seconds,
+                    engine=engine,
+                )
+            return _encode_symbolic(
+                stg, settings, estimate_logic, max_states, engine, watch
             )
     except DeadlineExceeded:
         return BatchItem(
@@ -116,15 +166,67 @@ def _encode_one(payload) -> BatchItem:
             seconds=watch.stop(),
             error=f"wall-clock timeout after {timeout}s",
             status="timeout",
+            engine=engine,
         )
     except Exception as error:  # pragma: no cover - defensive per-item isolation
-        return BatchItem(name=stg.name, error=f"{type(error).__name__}: {error}", status="error")
+        return BatchItem(
+            name=stg.name,
+            error=f"{type(error).__name__}: {error}",
+            status="error",
+            engine=engine,
+        )
+
+
+def _encode_symbolic(
+    stg: STG,
+    settings: Optional[SolverSettings],
+    estimate_logic: bool,
+    max_states: Optional[int],
+    engine: str,
+    watch: Stopwatch,
+) -> BatchItem:
+    """The ``engine="symbolic"`` / ``"auto"`` worker path.
+
+    ``auto`` takes a symbolic census first: a state count within the
+    ``max_states`` budget routes the request through the full explicit
+    pipeline (identical results to ``engine="explicit"``, census
+    attached); a larger one stays symbolic.  ``symbolic`` always runs
+    the BDD front half — detection everywhere, the explicit solver only
+    through the hybrid bridge's materialized conflict core.
+    """
+    from repro.api import encode_stg  # deferred: repro.api imports this package
+    from repro.symbolic import DEFAULT_STATE_BUDGET, SymbolicStateGraph, symbolic_encode
+
+    ssg = None
+    if engine == "auto":
+        ssg = SymbolicStateGraph(stg)
+        census = ssg.census()
+        budget = max_states if max_states is not None else DEFAULT_STATE_BUDGET
+        if census.states <= budget:
+            report = encode_stg(
+                stg,
+                settings=settings,
+                estimate_logic=estimate_logic,
+                max_states=max_states,
+            )
+            return BatchItem(
+                name=stg.name,
+                solved=report.solved,
+                summary=report.result.summary(),
+                table_row=report.table_row(),
+                seconds=watch.stop(),
+                engine=engine,
+                census=census.as_dict(),
+            )
+    outcome = symbolic_encode(stg, settings=settings, max_states=max_states, ssg=ssg)
     return BatchItem(
         name=stg.name,
-        solved=report.solved,
-        summary=report.result.summary(),
-        table_row=report.table_row(),
-        seconds=report.total_seconds,
+        solved=outcome.solved,
+        summary=outcome.summary(),
+        table_row=outcome.table_row(),
+        seconds=watch.stop(),
+        engine=engine,
+        census=outcome.census.as_dict(),
     )
 
 
@@ -136,6 +238,7 @@ def encode_many(
     max_states: Optional[int] = None,
     caches_on: bool = True,
     timeout: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
 
@@ -163,7 +266,13 @@ def encode_many(
         (:mod:`repro.utils.deadline`); a job that exceeds it comes back
         as ``status="timeout"`` instead of hanging its worker, so one
         pathological STG cannot stall a whole batch.  The bound applies
-        per item, not to the batch as a whole.
+        per item, not to the batch as a whole.  The symbolic tier polls
+        the same deadline, so symbolic jobs time out cooperatively too.
+    engine:
+        ``"explicit"``, ``"symbolic"`` or ``"auto"`` for the whole
+        batch; ``None`` (default) respects each request's
+        ``SolverSettings.engine``.  For symbolic engines ``max_states``
+        doubles as the hybrid materialization budget.
     """
     stgs = list(stgs)
     if isinstance(settings, SolverSettings) or settings is None:
@@ -176,7 +285,15 @@ def encode_many(
                 "pass one SolverSettings or one per STG"
             )
     payloads = [
-        (stg, case_settings, estimate_logic, max_states, caches_on, timeout)
+        (
+            stg,
+            case_settings,
+            estimate_logic,
+            max_states,
+            caches_on,
+            timeout,
+            resolve_engine(case_settings, engine),
+        )
         for stg, case_settings in zip(stgs, per_stg)
     ]
 
@@ -204,8 +321,15 @@ def _size_proxy(case: BenchmarkCase) -> int:
     return int(stats["places"]) + int(stats["transitions"])
 
 
-def suite_cases(table: str = "table2") -> List[BenchmarkCase]:
-    """The solvable cases of one table (or of both, ``table="all"``)."""
+def suite_cases(table: str = "table2", engine: str = "explicit") -> List[BenchmarkCase]:
+    """The runnable cases of one table (or of both, ``table="all"``).
+
+    The explicit engine can only run cases that are both solvable and
+    enumerable (``solve`` and ``explicit_ok``).  The symbolic engines
+    admit every case: ``explicit_ok=False`` rows get a symbolic census
+    and CSC verdict, and ``solve=False`` rows run detection-only (the
+    suite zeroes their signal budget).
+    """
     if table == "table1":
         cases = TABLE1_CASES
     elif table == "table2":
@@ -214,9 +338,9 @@ def suite_cases(table: str = "table2") -> List[BenchmarkCase]:
         cases = TABLE2_CASES + TABLE1_CASES
     else:
         raise ValueError(f"unknown table {table!r}")
-    # Entries marked solve=False / explicit_ok=False exist for symbolic
-    # state counting only; a batch encoding sweep cannot run them.
-    return [case for case in cases if case.solve and case.explicit_ok]
+    if engine == "explicit":
+        return [case for case in cases if case.solve and case.explicit_ok]
+    return list(cases)
 
 
 def select_smallest_cases(
@@ -239,6 +363,7 @@ def run_benchmark_suite(
     max_states: Optional[int] = 200000,
     caches_on: bool = True,
     timeout: Optional[float] = None,
+    engine: str = "explicit",
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
 
@@ -250,18 +375,27 @@ def run_benchmark_suite(
     knobs overlay the per-case settings when supplied, so the CLI's
     tuning flags apply in ``--all`` mode too; ``max_states`` bounds
     explicit state-graph construction exactly as in single-STG mode.
+
+    With ``engine="symbolic"`` / ``"auto"`` the sweep also includes the
+    cases the explicit engine must skip: ``explicit_ok=False`` rows get
+    their census and CSC verdict symbolically, and ``solve=False`` rows
+    run with a zero signal budget (detection-only) so the sweep stays
+    within a benchmark-sized time budget.
     """
-    cases = suite_cases(table)
+    cases = suite_cases(table, engine=engine)
     if smallest is not None:
         cases = select_smallest_cases(cases, smallest)
     stgs = [case.build() for case in cases]
     settings = []
     for case in cases:
         case_settings = case.solver_settings(frontier_width=frontier_width)
+        case_settings.engine = engine
         if brick_mode is not None:
             case_settings.search.brick_mode = brick_mode
         if max_signals is not None:
             case_settings.max_signals = max_signals
+        if engine != "explicit" and not case.solve:
+            case_settings.max_signals = 0
         if enlarge_concurrency:
             case_settings.search.enlarge_concurrency = True
         if verbose:
@@ -274,4 +408,5 @@ def run_benchmark_suite(
         max_states=max_states,
         caches_on=caches_on,
         timeout=timeout,
+        engine=engine,
     )

@@ -34,10 +34,11 @@ new dependency.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Dict, Optional
 
-from repro.core.solver import SolverSettings
+from repro.core.solver import ENGINES, SolverSettings
 from repro.service.fingerprint import (
     canonical_request,
     canonical_settings,
@@ -108,6 +109,7 @@ class EncodingService:
         stg: STG,
         settings: Optional[SolverSettings] = None,
         max_states: Optional[int] = 200000,
+        engine: Optional[str] = None,
     ) -> Dict[str, object]:
         """Submit one encoding request; dedupes against the result store.
 
@@ -121,7 +123,20 @@ class EncodingService:
         facade, the HTTP API, ``submit_benchmark``) so the same logical
         request content-addresses identically no matter how it arrives;
         pass ``None`` explicitly for an unbounded state graph.
+
+        ``engine`` overlays ``settings.engine`` (``"explicit"`` /
+        ``"symbolic"`` / ``"auto"``).  The engine is part of the request
+        fingerprint: an explicit encoding and a symbolic verdict of the
+        same STG are different results and dedupe separately.
         """
+        if engine is not None:
+            if engine not in ENGINES:
+                raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+            settings = dataclasses.replace(settings or SolverSettings(), engine=engine)
+        elif settings is not None and settings.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {settings.engine!r}; expected one of {ENGINES}"
+            )
         fingerprint = request_fingerprint(stg, settings=settings, max_states=max_states)
         payload = self.store.get(fingerprint)
         if payload is not None:
@@ -152,19 +167,32 @@ class EncodingService:
         table: str = "table2",
         settings: Optional[SolverSettings] = None,
         max_states: Optional[int] = 200000,
+        engine: Optional[str] = None,
     ) -> Dict[str, object]:
         """Submit a named library benchmark.
 
         Without explicit ``settings`` the case's own library settings are
         used (frontier width 16, relaxed cases with ``allow_input_delay``)
-        — the same regime as ``pyetrify bench``.
+        — the same regime as ``pyetrify bench``.  Cases the explicit
+        pipeline cannot enumerate (``explicit_ok=False``) or solve
+        (``solve=False``) are accepted with a symbolic engine and run
+        census + detection: for ``solve=False`` rows the signal budget is
+        zeroed exactly like the benchmark sweep — even over supplied
+        ``settings``, because those rows are *marked* unsolvable and a
+        hybrid-solve attempt would only burn the job's timeout (submit
+        the raw ``.g`` text instead to override the library's verdict).
         """
         from repro.bench_stg.library import get_case
 
         case = get_case(name, table=table)
         if settings is None:
             settings = case.solver_settings()
-        return self.submit(case.build(), settings=settings, max_states=max_states)
+        effective_engine = engine if engine is not None else settings.engine
+        if effective_engine != "explicit" and not case.solve:
+            settings = dataclasses.replace(settings, max_signals=0)
+        return self.submit(
+            case.build(), settings=settings, max_states=max_states, engine=engine
+        )
 
     # -- retrieval ------------------------------------------------------
     def result(self, fingerprint: str) -> Optional[Dict[str, object]]:
@@ -215,7 +243,11 @@ class EncodingService:
         return {
             "version": __version__,
             "uptime_seconds": round(time.time() - self._started_at, 3),
-            "queue": {"depth": self.queue.depth(), "by_status": self.queue.counts()},
+            "queue": {
+                "depth": self.queue.depth(),
+                "by_status": self.queue.counts(),
+                "by_engine": self.queue.counts_by_engine(),
+            },
             "workers": self.pool.stats(),
             "store": self.store.stats(),
             "recovered_jobs": self.recovered_jobs,

@@ -42,7 +42,10 @@ __all__ = [
 
 #: Bump when the canonical form changes; stored fingerprints from older
 #: schema versions then simply miss instead of aliasing new requests.
-FINGERPRINT_VERSION = 1
+#: Version 2: ``SolverSettings.engine`` joined the canonical settings —
+#: the engine choice is fingerprint-relevant (a symbolic-only verdict
+#: and an explicit encoding are different results for the same STG).
+FINGERPRINT_VERSION = 2
 
 #: Settings fields that do not influence the produced encoding.
 _PRESENTATION_ONLY = {"verbose"}

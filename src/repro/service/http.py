@@ -6,9 +6,12 @@ Endpoints (all JSON):
     Submit an encoding request.  Body: either ``{"g": "<.g text>"}`` or
     ``{"benchmark": "<name>", "table": "table2"}``, optionally with
     ``"settings"`` (a partial :class:`~repro.core.solver.SolverSettings`
-    dictionary, e.g. ``{"search": {"frontier_width": 16}}``) and
-    ``"max_states"``.  Answers ``200`` instantly with the embedded
-    result on a store hit, ``202`` with a ``job_id`` otherwise.
+    dictionary, e.g. ``{"search": {"frontier_width": 16}}``),
+    ``"max_states"``, and ``"engine"`` (``"explicit"`` / ``"symbolic"``
+    / ``"auto"``; shorthand for ``settings.engine`` and, like every
+    settings field, part of the request fingerprint).  Answers ``200``
+    instantly with the embedded result on a store hit, ``202`` with a
+    ``job_id`` otherwise.
 ``GET /jobs/{id}``
     Job status; embeds the result once the job is done (polling this
     endpoint does not skew the store's hit/miss accounting).
@@ -17,8 +20,8 @@ Endpoints (all JSON):
 ``GET /healthz``
     Liveness: ``{"ok": true, "version": ...}``.
 ``GET /stats``
-    Queue depth and per-status counts, worker utilisation, store
-    hit/miss/evict counters.
+    Queue depth, per-status and per-engine job counts, worker
+    utilisation, store hit/miss/evict counters.
 
 The server is a :class:`http.server.ThreadingHTTPServer`; handler
 threads only touch the sqlite-backed store/queue (both lock-guarded), so
@@ -124,28 +127,37 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         max_states = body.get("max_states", 200000)
         if max_states is not None and not isinstance(max_states, int):
             raise _BadRequest('"max_states" must be an integer or null')
+        engine = body.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            raise _BadRequest('"engine" must be a string')
 
         if ("g" in body) == ("benchmark" in body):
             raise _BadRequest('provide exactly one of "g" or "benchmark"')
-        if "g" in body:
-            if not isinstance(body["g"], str):
-                raise _BadRequest('"g" must be a string of .g text')
-            try:
-                stg = parse_g(body["g"])
-            except Exception as error:
-                raise _BadRequest(f"cannot parse .g body: {error}")
-            outcome = service.submit(stg, settings=settings, max_states=max_states)
-        else:
-            table = body.get("table", "table2")
-            try:
-                outcome = service.submit_benchmark(
-                    str(body["benchmark"]),
-                    table=str(table),
-                    settings=settings,
-                    max_states=max_states,
+        try:
+            if "g" in body:
+                if not isinstance(body["g"], str):
+                    raise _BadRequest('"g" must be a string of .g text')
+                try:
+                    stg = parse_g(body["g"])
+                except Exception as error:
+                    raise _BadRequest(f"cannot parse .g body: {error}")
+                outcome = service.submit(
+                    stg, settings=settings, max_states=max_states, engine=engine
                 )
-            except KeyError as error:
-                raise _BadRequest(str(error.args[0]) if error.args else str(error))
+            else:
+                table = body.get("table", "table2")
+                try:
+                    outcome = service.submit_benchmark(
+                        str(body["benchmark"]),
+                        table=str(table),
+                        settings=settings,
+                        max_states=max_states,
+                        engine=engine,
+                    )
+                except KeyError as error:
+                    raise _BadRequest(str(error.args[0]) if error.args else str(error))
+        except ValueError as error:  # e.g. an unknown engine name
+            raise _BadRequest(str(error))
         self._send_json(200 if outcome["cached"] else 202, outcome)
 
     def _get_job(self, job_id: str) -> None:

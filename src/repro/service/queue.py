@@ -273,6 +273,36 @@ class JobQueue:
             counts[status] = int(count)
         return counts
 
+    def counts_by_engine(self) -> Dict[str, int]:
+        """Job counts by requested engine (``settings.engine`` of the
+        persisted request; requests predating the engine setting count as
+        ``explicit``).
+
+        Aggregated inside sqlite with ``json_extract`` so a ``/stats``
+        poll never pulls the full request payloads (which embed whole
+        ``.g`` texts) into memory; the pure-Python fallback only runs on
+        sqlite builds without the JSON1 extension.
+        """
+        with self._lock:
+            try:
+                rows = self._conn.execute(
+                    "SELECT COALESCE(json_extract(request, '$.settings.engine'), "
+                    "'explicit'), COUNT(*) FROM jobs GROUP BY 1"
+                ).fetchall()
+                return {str(engine): int(count) for engine, count in rows}
+            except sqlite3.OperationalError:  # pragma: no cover - no JSON1
+                rows = self._conn.execute("SELECT request FROM jobs").fetchall()
+        counts: Dict[str, int] = {}
+        for (request,) in rows:
+            try:
+                engine = (json.loads(request).get("settings") or {}).get(
+                    "engine", "explicit"
+                )
+            except (TypeError, ValueError):
+                engine = "explicit"
+            counts[engine] = counts.get(engine, 0) + 1
+        return counts
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         with self._lock:

@@ -36,7 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait as fut
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Optional
 
-from repro.engine.batch import BatchItem, _encode_one
+from repro.engine.batch import BatchItem, _encode_one, resolve_engine
 from repro.service.fingerprint import settings_from_dict
 from repro.service.queue import JobQueue, JobRecord
 from repro.service.store import ResultStore
@@ -207,7 +207,8 @@ class WorkerPool:
             stg = parse_g(job.request["g"], name=job.name)
             settings = settings_from_dict(job.request.get("settings"))
             max_states = job.request.get("max_states")
-            return (stg, settings, True, max_states, True, self.timeout)
+            engine = resolve_engine(settings)
+            return (stg, settings, True, max_states, True, self.timeout, engine)
         except Exception as error:
             self._finish(job, "failed", f"invalid persisted request: {error}")
             return None

@@ -1,0 +1,206 @@
+"""Symbolic CSC conflict detection.
+
+The explicit detector (:mod:`repro.core.csc`) buckets enumerated states
+by code and compares enabled-signal signatures pairwise inside each
+bucket.  Here the same question is asked *relationally*, without ever
+touching a state pair: with every state variable owning an unprimed and
+a primed BDD level (:mod:`repro.symbolic.stategraph`), the function
+
+.. code-block:: text
+
+    Conflict(x, x')  =  R(x)  ∧  R(x')  ∧  ⋀_s (v_s(x) ↔ v_s(x'))
+                                         ∧  ⋁_e (En_e(x) ⊕ En_e(x'))
+
+over unprimed ``x`` and primed ``x'`` holds exactly for the ordered CSC
+conflict pairs: both states reachable, equal binary codes (the
+code-equality relation — one biconditional per signal-variable pair,
+linear thanks to the interleaved ordering), and some non-input signal
+edge ``e`` enabled in one state but not the other.  ``sat_count`` over
+all levels counts ordered pairs, so halving it reproduces the explicit
+pipeline's pair counts; dropping the signature disjunct and requiring
+the markings to differ instead yields the USC pair count the same way.
+
+``conflict_core`` closes the conflict states under forward images and
+reachable backward preimages — every state lying on a trajectory
+through a conflict.  When that core is small it can be materialized
+into an explicit state graph for the insertion solver
+(:mod:`repro.symbolic.bridge`); when it is not, the conflict relation
+itself is the deliverable, summarised by pair counts and witness cubes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bdd.bdd import Node, prime_map
+from repro.symbolic.stategraph import SymbolicStateGraph
+from repro.utils.deadline import check_deadline
+
+__all__ = ["SymbolicConflictReport", "detect_csc_conflicts", "conflict_core"]
+
+
+@dataclass
+class SymbolicConflictReport:
+    """The structured verdict of one symbolic CSC detection run.
+
+    ``conflict_states`` (a BDD node over the unprimed levels) and
+    ``relation`` (over both copies) stay attached for downstream use —
+    the hybrid bridge and the tests; :meth:`as_dict` drops them.
+    """
+
+    name: str
+    states: int
+    usc_pairs: int
+    csc_pairs: int
+    csc_holds: bool
+    conflict_state_count: int
+    witnesses: List[Dict[str, object]] = field(default_factory=list)
+    core_states: Optional[int] = None  # filled once conflict_core ran
+    seconds: float = 0.0
+    conflict_states: Node = 0
+    relation: Node = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "states": self.states,
+            "usc_pairs": self.usc_pairs,
+            "csc_pairs": self.csc_pairs,
+            "csc_holds": self.csc_holds,
+            "conflict_state_count": self.conflict_state_count,
+            "core_states": self.core_states,
+            "witnesses": list(self.witnesses),
+            "seconds": round(self.seconds, 3),
+        }
+
+
+def _code_equality(ssg: SymbolicStateGraph) -> Node:
+    """``⋀_s (v_s ↔ v'_s)`` — the code-equality relation on the
+    primed/unprimed signal-variable pairs (built highest level first so
+    every intermediate conjunct is a suffix of the final chain)."""
+    bdd = ssg.bdd
+    result = bdd.true
+    for var in sorted(ssg.signal_vars.values(), reverse=True):
+        result = bdd.apply_and(
+            result, bdd.apply_eq(bdd.var(ssg.unprimed(var)), bdd.var(ssg.primed(var)))
+        )
+    return result
+
+
+def _marking_inequality(ssg: SymbolicStateGraph) -> Node:
+    """``⋁_p (p ⊕ p')`` — the two states are distinct markings."""
+    bdd = ssg.bdd
+    result = bdd.false
+    for var in sorted(ssg.place_vars.values(), reverse=True):
+        result = bdd.apply_or(
+            result, bdd.apply_xor(bdd.var(ssg.unprimed(var)), bdd.var(ssg.primed(var)))
+        )
+    return result
+
+
+def _decode_witness(ssg: SymbolicStateGraph, cube: Dict[int, int]) -> Dict[str, object]:
+    """One conflict pair, decoded into a JSON-friendly record."""
+    first = {level: value for level, value in cube.items() if level % 2 == 0}
+    second = {level - 1: value for level, value in cube.items() if level % 2 == 1}
+    first_marking, first_code = ssg.decode_state(first)
+    second_marking, second_code = ssg.decode_state(second)
+    return {
+        "code": "".join(str(bit) for bit in first_code),
+        "first_marking": sorted(str(place) for place in first_marking.places()),
+        "second_marking": sorted(str(place) for place in second_marking.places()),
+    }
+
+
+def detect_csc_conflicts(
+    ssg: SymbolicStateGraph, witness_limit: int = 4
+) -> SymbolicConflictReport:
+    """Detect USC/CSC conflicts of ``ssg`` without enumerating states."""
+    started = time.perf_counter()
+    bdd = ssg.bdd
+    reached = ssg.explore()
+    mapping = prime_map(ssg.num_state_vars)
+    reached_primed = bdd.rename(reached, mapping)
+    pair = bdd.apply_and(
+        bdd.apply_and(reached, reached_primed), _code_equality(ssg)
+    )
+
+    all_levels = ssg.unprimed_levels + ssg.primed_levels
+    usc_relation = bdd.apply_and(pair, _marking_inequality(ssg))
+    usc_pairs = bdd.sat_count(usc_relation, all_levels) // 2
+
+    conflict_relation = bdd.false
+    if usc_relation != bdd.false:
+        # Only non-input signal edges matter for the signature (the
+        # explicit detector's _noninput_signature); without any shared
+        # code there is nothing to compare at all.
+        for edge in ssg.base_edges():
+            check_deadline()
+            if ssg.stg.is_input(edge.signal):
+                continue
+            enabled = ssg.enabled_predicate(edge)
+            enabled_primed = bdd.rename(enabled, mapping)
+            differs = bdd.apply_xor(enabled, enabled_primed)
+            conflict_relation = bdd.apply_or(
+                conflict_relation, bdd.apply_and(pair, differs)
+            )
+    csc_pairs = bdd.sat_count(conflict_relation, all_levels) // 2
+    csc_holds = conflict_relation == bdd.false
+
+    conflict_states = bdd.exists(conflict_relation, ssg.primed_levels)
+    conflict_state_count = bdd.sat_count(conflict_states, ssg.unprimed_levels)
+
+    witnesses: List[Dict[str, object]] = []
+    remaining = conflict_relation
+    while remaining != bdd.false and len(witnesses) < witness_limit:
+        cube = bdd.pick_cube(remaining)
+        witnesses.append(_decode_witness(ssg, cube))
+        # The relation holds ordered pairs, so every unordered conflict
+        # appears twice; subtract the picked cube AND its mirror (primed
+        # and unprimed halves swapped) to move on to the next conflict.
+        mirror = {
+            (level + 1 if level % 2 == 0 else level - 1): value
+            for level, value in cube.items()
+        }
+        remaining = bdd.apply_diff(remaining, bdd.cube(cube))
+        remaining = bdd.apply_diff(remaining, bdd.cube(mirror))
+
+    return SymbolicConflictReport(
+        name=ssg.name,
+        states=ssg.count_states(),
+        usc_pairs=usc_pairs,
+        csc_pairs=csc_pairs,
+        csc_holds=csc_holds,
+        conflict_state_count=conflict_state_count,
+        witnesses=witnesses,
+        seconds=time.perf_counter() - started,
+        conflict_states=conflict_states,
+        relation=conflict_relation,
+    )
+
+
+def conflict_core(ssg: SymbolicStateGraph, conflict_states: Node) -> Node:
+    """States on some trajectory through a conflict state.
+
+    The closure of the conflict states under forward images and
+    (reachable) backward preimages.  Because every conflict state is
+    reachable from the initial state, the backward closure always pulls
+    the initial state in, so the core is connected from the initial
+    state *within itself* — the property the hybrid bridge's restricted
+    BFS materialization relies on.  Stops early once the core saturates
+    the reachable set.
+    """
+    bdd = ssg.bdd
+    reached = ssg.explore()
+    core = conflict_states
+    frontier = conflict_states
+    while frontier != bdd.false and core != reached:
+        check_deadline()
+        expanded = bdd.apply_or(
+            ssg.image(frontier), bdd.apply_and(ssg.preimage(frontier), reached)
+        )
+        new = bdd.apply_diff(expanded, core)
+        core = bdd.apply_or(core, new)
+        frontier = new
+    return core

@@ -100,7 +100,53 @@ class TestCLI:
         ).read_text()
         assert 'dynamic = ["version"]' in pyproject
         assert 'version = { attr = "repro.__version__" }' in pyproject
-        assert repro.__version__ == "0.4.0"
+        assert repro.__version__ == "0.5.0"
+
+    def test_census_on_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, gen.vme_controller())
+        assert main(["census", path]) == 0
+        output = capsys.readouterr().out
+        assert "states" in output and ": 14" in output
+
+    def test_census_on_infeasible_benchmark(self, capsys):
+        assert main(["census", "--benchmark", "par16", "--table", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "131074" in output
+
+    def test_census_requires_exactly_one_input(self, tmp_path, capsys):
+        assert main(["census"]) == 2
+        path = self._write(tmp_path, gen.vme_controller())
+        assert main(["census", path, "--benchmark", "vme2int"]) == 2
+
+    def test_check_csc_reports_conflicts_and_witnesses(self, tmp_path, capsys):
+        path = self._write(tmp_path, gen.vme_controller())
+        assert main(["check-csc", path, "--witnesses", "1"]) == 2  # conflicts
+        output = capsys.readouterr().out
+        assert "csc_pairs            : 1" in output
+        assert "witness 1:" in output
+
+    def test_check_csc_clean_case_returns_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, gen.handshake_wire_chain(2))
+        assert main(["check-csc", path]) == 0
+        assert "csc_holds            : True" in capsys.readouterr().out
+
+    def test_bench_engine_symbolic(self, capsys):
+        assert main(["bench", "vme2int", "--engine", "symbolic"]) == 0
+        output = capsys.readouterr().out
+        assert "mode" in output and "hybrid" in output
+
+    def test_bench_engine_symbolic_infeasible_row(self, capsys):
+        code = main(["bench", "pipe16", "--table", "table1", "--engine", "symbolic",
+                     "--max-signals", "0"])
+        assert code == 2  # verdict: conflicts remain (detection-only)
+        output = capsys.readouterr().out
+        assert "2821109907456" in output
+
+    def test_bench_all_symbolic_smoke(self, capsys):
+        code = main(["bench", "--all", "--engine", "symbolic", "--smallest", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "jobs=1" in output
 
     def test_bench_all_with_timeout_reports_timeouts(self, capsys):
         code = main(

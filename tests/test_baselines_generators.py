@@ -94,9 +94,13 @@ class TestLibrary:
         assert len(benchmark_names("table2")) == 24
 
     def test_table1_rows(self):
-        assert len(TABLE1_CASES) == 6
+        assert len(TABLE1_CASES) == 12
         names = benchmark_names("table1")
         assert "par16" in names and "pipe16" in names
+        assert "pipe24" in names and "pipeline12" in names
+        # the explicitly-infeasible rows are flagged for the symbolic tier
+        infeasible = {case.name for case in TABLE1_CASES if not case.explicit_ok}
+        assert {"par16", "par24", "pipe8", "pipe16", "pipe24", "pipeline8", "pipeline12"} == infeasible
 
     def test_load_benchmark(self):
         stg = load_benchmark("vme2int")

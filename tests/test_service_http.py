@@ -133,6 +133,48 @@ def test_settings_influence_fingerprint(service_server):
     assert narrow["fingerprint"] != wide["fingerprint"]
 
 
+def test_engine_is_fingerprint_relevant(service_server):
+    _, base = service_server
+    g_text = stg_to_g_text(load_benchmark("vme2int"))
+    _, explicit = _request(base, "POST", "/jobs", {"g": g_text})
+    _, symbolic = _request(base, "POST", "/jobs", {"g": g_text, "engine": "symbolic"})
+    _, via_settings = _request(
+        base, "POST", "/jobs", {"g": g_text, "settings": {"engine": "symbolic"}}
+    )
+    assert explicit["fingerprint"] != symbolic["fingerprint"]
+    # top-level "engine" and settings.engine are the same request
+    assert symbolic["fingerprint"] == via_settings["fingerprint"]
+
+
+def test_symbolic_job_roundtrip_and_per_engine_stats(service_server):
+    service, base = service_server
+    # par16 is infeasible explicitly (131074 states); the symbolic engine
+    # answers with a census + CSC verdict.
+    status, outcome = _request(
+        base, "POST", "/jobs", {"benchmark": "par16", "table": "table1", "engine": "symbolic"}
+    )
+    assert status == 202
+    result = service.wait(outcome["fingerprint"], timeout=120.0)
+    assert result["engine"] == "symbolic"
+    assert result["table_row"]["states"] == 131074
+    assert result["summary"]["engine_mode"] == "symbolic-only"
+    assert result["summary"]["csc_holds"] is False
+    assert result["census"]["states"] == 131074
+
+    status, stats = _request(base, "GET", "/stats")
+    assert status == 200
+    assert stats["queue"]["by_engine"].get("symbolic", 0) >= 1
+
+
+def test_unknown_engine_is_a_400(service_server):
+    _, base = service_server
+    status, payload = _request(
+        base, "POST", "/jobs", {"benchmark": "nak-pa", "engine": "quantum"}
+    )
+    assert status == 400
+    assert "engine" in payload["error"]
+
+
 @pytest.mark.parametrize(
     "method, path, body, expected",
     [

@@ -1,0 +1,181 @@
+"""Differential suite: the symbolic tier vs the explicit/indexed pipeline.
+
+The symbolic front half must be invisible in the answers: on every STG
+small enough to enumerate, the BDD census, the per-event ER/SR sets, the
+USC/CSC conflict pair counts and the hybrid bridge's solver results have
+to agree *byte for byte* with the explicit pipeline (object-space oracle
+and PR-3 indexed path alike — those two are already pinned to each other
+by ``tests/test_indexed_differential.py``).
+
+Covered here:
+
+* every enumerable library case (``explicit_ok``) of both tables:
+  census, USC/CSC pair counts and the CSC verdict against the
+  from-scratch object-space detector;
+* ER/SR sets as explicit marking sets on the mid-size cases;
+* per-state code agreement (the symbolic valuation of every reachable
+  state equals the inferred explicit encoding);
+* the hybrid bridge against :func:`repro.core.solver.solve_csc` on the
+  solvable cases — identical materialized graphs, identical
+  ``EncodingResult`` fingerprints;
+* hypothesis-generated STGs from the parametric generator families
+  (including the new coupled ``pipeline`` family).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings as hsettings, strategies as st
+
+from repro.bench_stg import generators as gen
+from repro.bench_stg.library import TABLE1_CASES, TABLE2_CASES
+from repro.core.csc import csc_conflicts_from_scratch, has_csc, usc_conflicts
+from repro.core.excitation import excitation_set, switching_set
+from repro.core.solver import solve_csc
+from repro.engine import use_caches
+from repro.stg import build_state_graph
+from repro.symbolic import (
+    SymbolicStateGraph,
+    detect_csc_conflicts,
+    symbolic_encode,
+)
+
+ENUMERABLE = [case for case in TABLE2_CASES + TABLE1_CASES if case.explicit_ok]
+_ENUM_IDS = [f"{i:02d}-{case.name}" for i, case in enumerate(ENUMERABLE)]
+
+SOLVABLE = [case for case in ENUMERABLE if case.solve]
+_SOLVE_IDS = [f"{i:02d}-{case.name}" for i, case in enumerate(SOLVABLE)]
+
+# cases small enough for exhaustive state-by-state comparisons
+_EXHAUSTIVE_LIMIT = 1200
+
+
+@pytest.mark.parametrize("case", ENUMERABLE, ids=_ENUM_IDS)
+def test_census_and_conflict_counts_match_explicit(case):
+    stg = case.build()
+    sg = build_state_graph(stg, max_states=200000)
+    with use_caches(False):
+        explicit_usc = len(usc_conflicts(sg))
+        explicit_csc = len(csc_conflicts_from_scratch(sg))
+        explicit_holds = has_csc(sg)
+
+    ssg = SymbolicStateGraph(case.build())
+    report = detect_csc_conflicts(ssg)
+    assert report.states == sg.num_states
+    assert report.usc_pairs == explicit_usc
+    assert report.csc_pairs == explicit_csc
+    assert report.csc_holds == explicit_holds
+
+    if sg.num_states <= _EXHAUSTIVE_LIMIT:
+        # every explicit state is a symbolic state with the same code...
+        reached = ssg.explore()
+        for state in sg.states:
+            assert ssg.contains(reached, state, sg.code(state))
+        # ...and the conflict states are exactly the explicit ones
+        explicit_conflict_states = set()
+        with use_caches(False):
+            for conflict in csc_conflicts_from_scratch(sg):
+                explicit_conflict_states.add(conflict.first)
+                explicit_conflict_states.add(conflict.second)
+        symbolic_conflict_states = {
+            marking for marking, _code in ssg.states_of(report.conflict_states)
+        }
+        assert symbolic_conflict_states == explicit_conflict_states
+
+
+@pytest.mark.parametrize("case", ENUMERABLE, ids=_ENUM_IDS)
+def test_er_sr_sets_match_explicit(case):
+    stg = case.build()
+    sg = build_state_graph(stg, max_states=200000)
+    if sg.num_states > _EXHAUSTIVE_LIMIT:
+        pytest.skip("enumerating symbolic ER/SR sets only pays below the limit")
+    ssg = SymbolicStateGraph(case.build())
+    events = set(sg.ts.events)
+    assert set(ssg.base_edges()) == events
+    for event in sg.ts.events:
+        explicit_er = excitation_set(sg.ts, event)
+        explicit_sr = switching_set(sg.ts, event)
+        symbolic_er = {m for m, _code in ssg.states_of(ssg.er_set(event))}
+        symbolic_sr = {m for m, _code in ssg.states_of(ssg.sr_set(event))}
+        assert symbolic_er == set(explicit_er), f"ER({event}) diverged"
+        assert symbolic_sr == set(explicit_sr), f"SR({event}) diverged"
+
+
+@pytest.mark.parametrize("case", SOLVABLE, ids=_SOLVE_IDS)
+def test_hybrid_bridge_matches_explicit_solver(case):
+    settings = case.solver_settings()
+    explicit_sg = build_state_graph(case.build(), max_states=200000)
+    explicit = solve_csc(explicit_sg, settings)
+
+    outcome = symbolic_encode(
+        case.build(), settings=case.solver_settings(), core_budget=10000
+    )
+    if explicit.num_inserted == 0 and explicit.solved:
+        # no conflicts: the symbolic tier never materializes anything
+        assert outcome.mode == "symbolic"
+        assert outcome.solved
+        return
+    assert outcome.mode == "hybrid"
+    # the materialized core is the explicit graph, object for object
+    materialized = outcome.result.initial_sg
+    assert materialized.states == explicit_sg.states
+    assert materialized.encoding == explicit_sg.encoding
+    # and the solver's outcome is byte-identical
+    assert outcome.result.fingerprint() == explicit.fingerprint()
+    assert json.dumps(
+        outcome.result.fingerprint(), sort_keys=True, default=repr
+    ) == json.dumps(explicit.fingerprint(), sort_keys=True, default=repr)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random STGs from the parametric generator families
+# ----------------------------------------------------------------------
+@st.composite
+def random_stgs(draw):
+    """Random STGs (bounded sizes, all families incl. the new pipeline)."""
+    family = draw(
+        st.sampled_from(
+            [
+                "sequencer",
+                "mixed",
+                "parallel",
+                "independent",
+                "counter",
+                "chain",
+                "pipeline",
+            ]
+        )
+    )
+    if family == "sequencer":
+        return gen.sequencer(draw(st.integers(min_value=2, max_value=5)))
+    if family == "mixed":
+        num_parallel = draw(st.integers(min_value=0, max_value=2))
+        min_sequential = 1 if num_parallel == 0 else 0
+        num_sequential = draw(st.integers(min_value=min_sequential, max_value=3))
+        return gen.mixed_controller(num_parallel, num_sequential)
+    if family == "parallel":
+        return gen.parallel_toggles(draw(st.integers(min_value=1, max_value=3)))
+    if family == "independent":
+        return gen.independent_toggles(draw(st.integers(min_value=1, max_value=3)))
+    if family == "counter":
+        return gen.ripple_counter(draw(st.integers(min_value=2, max_value=4)))
+    if family == "pipeline":
+        return gen.pipeline(draw(st.integers(min_value=1, max_value=3)))
+    return gen.handshake_wire_chain(draw(st.integers(min_value=1, max_value=4)))
+
+
+@hsettings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(stg=random_stgs())
+def test_random_stgs_symbolic_matches_explicit(stg):
+    sg = build_state_graph(stg, max_states=20000)
+    with use_caches(False):
+        explicit_usc = len(usc_conflicts(sg))
+        explicit_csc = len(csc_conflicts_from_scratch(sg))
+        explicit_holds = has_csc(sg)
+    report = detect_csc_conflicts(SymbolicStateGraph(stg))
+    assert report.states == sg.num_states
+    assert report.usc_pairs == explicit_usc
+    assert report.csc_pairs == explicit_csc
+    assert report.csc_holds == explicit_holds
