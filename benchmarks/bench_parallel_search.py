@@ -1,0 +1,129 @@
+"""In-solve sharding benchmark: serial vs ``search_jobs=4`` Figure-4 search.
+
+Runs the full solvable Table-2 benchmark library three ways —
+
+* ``legacy serial``  — caches disabled, object-space pipeline: the
+  frozen-code machine-speed yardstick shared with the other gates;
+* ``search serial``  — the indexed engine with ``search_jobs=1`` (the
+  restructured generate/evaluate/merge search, no pool);
+* ``search jobs=4``  — the same search sharding its candidate
+  evaluations across four fork workers (STG-level ``jobs=1``, so the
+  pool-budget rule leaves the width untouched)
+
+— verifies that all three produce byte-identical per-STG results, and
+writes the wall-clock record to ``BENCH_search.json`` at the repository
+root.  The record keeps a per-row SHA-256 of each case's result
+fingerprint so the CI gate (``check_bench_regression.py --suite
+search``) can fail on *any* encoding drift, not just on slowdowns, and a
+``cores`` field so speedups are read against the machine that produced
+them: on a single-core container the sharded sweep is expected to pay
+pool overhead (the record is still the identity proof); the ≥2× target
+on the slowest rows applies to multi-core hardware.
+
+Runnable standalone (``PYTHONPATH=src python
+benchmarks/bench_parallel_search.py``) or through pytest
+(``pytest benchmarks/bench_parallel_search.py -s``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+
+from repro.engine.batch import run_benchmark_suite
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
+SUITE = "table2"
+SEARCH_JOBS = 4
+
+
+def _fingerprint_hash(item) -> str:
+    blob = json.dumps(item.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_search_benchmark(record_path: pathlib.Path = RECORD_PATH) -> dict:
+    """Run the three sweeps, check identity, write and return the record."""
+    legacy = run_benchmark_suite(table=SUITE, jobs=1, caches_on=False)
+    serial = run_benchmark_suite(table=SUITE, jobs=1, caches_on=True, search_jobs=1)
+    sharded = run_benchmark_suite(
+        table=SUITE, jobs=1, caches_on=True, search_jobs=SEARCH_JOBS
+    )
+
+    fingerprints = [
+        json.dumps(result.fingerprints(), sort_keys=True)
+        for result in (legacy, serial, sharded)
+    ]
+    identical = len(set(fingerprints)) == 1
+
+    rows = [
+        {
+            "name": base.name,
+            "solved": base.solved,
+            "inserted": base.summary.get("inserted"),
+            "serial_cpu": round(base.seconds, 3),
+            "sharded_cpu": round(fast.seconds, 3),
+            "fingerprint_sha256": _fingerprint_hash(base),
+        }
+        for base, fast in zip(serial.items, sharded.items)
+    ]
+    slowest = max(rows, key=lambda row: row["serial_cpu"])
+    slowest_speedup = (
+        round(slowest["serial_cpu"] / slowest["sharded_cpu"], 3)
+        if slowest["sharded_cpu"] > 0
+        else None
+    )
+
+    record = {
+        "benchmark": "bench_parallel_search",
+        "suite": SUITE,
+        "search_jobs": SEARCH_JOBS,
+        "cores": os.cpu_count(),
+        "cases": [item.name for item in serial.items],
+        "legacy_serial_seconds": round(legacy.wall_seconds, 3),
+        "search_serial_seconds": round(serial.wall_seconds, 3),
+        "search_jobs4_seconds": round(sharded.wall_seconds, 3),
+        "sweep_speedup": round(serial.wall_seconds / sharded.wall_seconds, 3),
+        "slowest_row": slowest["name"],
+        "slowest_serial_cpu": slowest["serial_cpu"],
+        "slowest_sharded_cpu": slowest["sharded_cpu"],
+        "slowest_row_speedup": slowest_speedup,
+        "identical": identical,
+        "solved": serial.solved_count,
+        "total": len(serial.items),
+        "per_stg": rows,
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_parallel_search_identity(report_sink):
+    """``search_jobs=4`` must be byte-identical to the serial search on
+    every Table-2 case.  The speedup is recorded, not asserted: it is a
+    property of the core count of the machine running the sweep (the CI
+    gate normalises with the legacy yardstick instead)."""
+    record = run_search_benchmark()
+    report_sink.setdefault(
+        "In-solve sharding: serial vs search_jobs=4 (Table-2 sweep)", []
+    ).append(
+        {
+            "cases": record["total"],
+            "cores": record["cores"],
+            "legacy_s": record["legacy_serial_seconds"],
+            "serial_s": record["search_serial_seconds"],
+            "jobs4_s": record["search_jobs4_seconds"],
+            "slowest_row": record["slowest_row"],
+            "slowest_speedup": record["slowest_row_speedup"],
+            "identical": record["identical"],
+        }
+    )
+    assert record["identical"], "sharded search results differ from the serial search"
+
+
+if __name__ == "__main__":
+    outcome = run_search_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    sys.exit(0 if outcome["identical"] else 1)

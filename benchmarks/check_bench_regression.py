@@ -1,6 +1,6 @@
 """Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Two suites, selected by ``--suite``:
+Three suites, selected by ``--suite``:
 
 ``table2`` (default)
     Runs the full Table-2 sweep three ways via
@@ -18,18 +18,29 @@ Two suites, selected by ``--suite``:
     counts, CSC verdicts, modes) reproduces the baseline exactly: a
     verdict drift is a correctness bug, not a performance one.
 
+``search``
+    Runs the in-solve sharding sweep via
+    :func:`benchmarks.bench_parallel_search.run_search_benchmark`
+    (refreshing ``BENCH_search.json``), fails unless the serial and
+    ``search_jobs=4`` sweeps are byte-identical, fails on any per-row
+    result-fingerprint drift against the committed baseline, and gates
+    the *search serial* wall-clock — so the generate/evaluate/merge
+    restructure of the Figure-4 search can never quietly slow the
+    serial path down.
+
 Raw wall-clock comparisons across CI runners would gate on machine
 speed, not on code.  Each suite therefore carries its own frozen-code
-yardstick: the legacy object-space sweep for ``table2``, the explicit
-census of the enumerable Table-1 rows for ``table1``.  The gate scales
-the committed baseline by ``new_yardstick / baseline_yardstick`` and
-fails when the gated time exceeds that expectation by more than
-``--tolerance`` (default 25 %).
+yardstick: the legacy object-space sweep for ``table2`` and ``search``,
+the explicit census of the enumerable Table-1 rows for ``table1``.  The
+gate scales the committed baseline by ``new_yardstick /
+baseline_yardstick`` and fails when the gated time exceeds that
+expectation by more than ``--tolerance`` (default 25 %).
 
 Usage (CI runs exactly this)::
 
     python benchmarks/check_bench_regression.py --baseline BENCH_batch.json.orig
     python benchmarks/check_bench_regression.py --suite table1 --baseline BENCH_table1.json.orig
+    python benchmarks/check_bench_regression.py --suite search --baseline BENCH_search.json.orig
 
 where the baseline file is a copy of the committed record taken
 *before* the run refreshes it.
@@ -46,6 +57,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
+from bench_parallel_search import (  # noqa: E402
+    RECORD_PATH as SEARCH_RECORD_PATH,
+    run_search_benchmark,
+)
 from bench_table1_large_stgs import (  # noqa: E402
     RECORD_PATH as TABLE1_RECORD_PATH,
     run_table1_benchmark,
@@ -152,11 +167,60 @@ def check_table1(baseline_path: pathlib.Path, tolerance: float) -> int:
     return 0
 
 
+def check_search(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_search_benchmark()
+
+    if not record["identical"]:
+        print("FAIL: serial and search_jobs=4 sweeps are no longer byte-identical")
+        return 1
+
+    baseline_rows = {row["name"]: row for row in baseline["per_stg"]}
+    new_rows = {row["name"]: row for row in record["per_stg"]}
+    drifted = False
+    for name in baseline_rows.keys() - new_rows.keys():
+        print(f"FAIL: Table-2 row {name} disappeared from the search sweep")
+        drifted = True
+    for row in record["per_stg"]:
+        base_row = baseline_rows.get(row["name"])
+        if base_row is None:
+            print(f"note: new search-sweep row {row['name']} (no baseline fingerprint)")
+            continue
+        if row["fingerprint_sha256"] != base_row["fingerprint_sha256"]:
+            print(
+                f"FAIL: result-fingerprint drift on {row['name']}: "
+                f"baseline {base_row['fingerprint_sha256'][:12]}… -> "
+                f"now {row['fingerprint_sha256'][:12]}…"
+            )
+            drifted = True
+    if drifted:
+        return 1
+
+    ok = _gate(
+        "search serial",
+        float(baseline["legacy_serial_seconds"]),
+        float(record["legacy_serial_seconds"]),
+        float(baseline["search_serial_seconds"]),
+        float(record["search_serial_seconds"]),
+        tolerance,
+    )
+    print(
+        f"slowest row {record['slowest_row']}: serial {record['slowest_serial_cpu']}s "
+        f"-> search_jobs=4 {record['slowest_sharded_cpu']}s "
+        f"({record['slowest_row_speedup']}x on {record['cores']} core(s)); "
+        f"refreshed {SEARCH_RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=["table2", "table1"],
+        choices=["table2", "table1", "search"],
         default="table2",
         help="which sweep to gate (default: the Table-2 engine sweep)",
     )
@@ -179,6 +243,9 @@ def main(argv=None) -> int:
     if args.suite == "table1":
         baseline_path = args.baseline or TABLE1_RECORD_PATH
         return check_table1(baseline_path, args.tolerance)
+    if args.suite == "search":
+        baseline_path = args.baseline or SEARCH_RECORD_PATH
+        return check_search(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
     return check_table2(baseline_path, args.tolerance)
 

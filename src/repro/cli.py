@@ -56,6 +56,7 @@ def _solver_settings(args: argparse.Namespace) -> SolverSettings:
         ),
         max_signals=args.max_signals if args.max_signals is not None else 32,
         verbose=args.verbose,
+        search_jobs=args.search_jobs if getattr(args, "search_jobs", None) is not None else 1,
     )
 
 
@@ -197,6 +198,7 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
         max_states=args.max_states,
         timeout=args.timeout,
         engine=args.engine,
+        search_jobs=args.search_jobs,
     )
     name_width = max((len(item.name) for item in result.items), default=4)
     for item in result.items:
@@ -246,6 +248,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         max_entries=args.max_entries,
+        search_jobs=args.search_jobs,
     )
     try:
         server = bind_server(service, host=args.host, port=args.port, verbose=args.verbose)
@@ -288,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-signals", type=int, default=None, help="maximum number of inserted state signals (default 32)")
         sub.add_argument("--max-states", type=int, default=200000, help="bound on explicit state-graph size")
         sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
+        sub.add_argument("--search-jobs", type=int, default=None, metavar="N", help="shard each insertion search across N workers (results identical to serial; in --all mode clamped so --jobs x N fits the machine)")
         sub.add_argument("--verbose", action="store_true")
 
     info = subparsers.add_parser("info", help="report STG statistics and CSC conflicts")
@@ -340,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=1, help="worker-pool width (process workers per batch)")
     serve.add_argument("--store", default="pyetrify-service.db", metavar="PATH", help="sqlite file holding jobs and results (survives restarts)")
     serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
+    serve.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width for jobs that do not request one (clamped so --jobs x N fits the machine)")
     serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     serve.set_defaults(handler=_cmd_serve)

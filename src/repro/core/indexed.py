@@ -57,6 +57,10 @@ SMINUS = 3
 
 _MISSING = object()
 
+#: Public sentinel distinguishing "memoized as None" from "not evaluated
+#: yet" (returned by :meth:`IndexedEvaluator.peek`).
+MISSING = _MISSING
+
 
 def bits_of(mask: int) -> List[int]:
     """The set bit positions of ``mask`` in ascending order."""
@@ -618,72 +622,51 @@ def adjacency_dict_from_bundle(adjacency: Sequence[Tuple[int, ...]]) -> Dict[int
 # ----------------------------------------------------------------------
 # block evaluation (the Figure-4 hot loop)
 # ----------------------------------------------------------------------
-class IndexedEvaluation:
-    """A candidate block with its side table and cost (index space)."""
+class EvalKernel:
+    """Pure, picklable block-evaluation kernel of one insertion search.
 
-    __slots__ = ("mask", "size", "side", "cost")
+    A self-contained snapshot of everything :meth:`evaluate` reads — the
+    successor lists, the border-incident signal arcs, the conflict-pair
+    masks — with no reference to the state graph, its state objects or
+    the engine caches.  That makes the kernel the unit the in-solve
+    sharding ships to worker processes (:mod:`repro.engine.shard`): the
+    same kernel instance evaluates a block bitmask to the same
+    :class:`IndexedEvaluation` in any process, so parallel candidate
+    evaluation is deterministic by construction.
 
-    def __init__(self, mask: int, size: int, side: bytearray, cost: Cost) -> None:
-        self.mask = mask
-        self.size = size
-        self.side = side
-        self.cost = cost
-
-    def to_partition(self, index: IndexedStateGraph) -> IPartition:
-        """The object-space I-partition this evaluation describes."""
-        buckets: Tuple[List[State], List[State], List[State], List[State]] = (
-            [],
-            [],
-            [],
-            [],
-        )
-        states = index.states
-        for i, code in enumerate(self.side):
-            buckets[code].append(states[i])
-        return IPartition(
-            s0=frozenset(buckets[S0]),
-            splus=frozenset(buckets[SPLUS]),
-            s1=frozenset(buckets[S1]),
-            sminus=frozenset(buckets[SMINUS]),
-        )
-
-    def block_states(self, index: IndexedStateGraph) -> FrozenSet[State]:
-        states = index.states
-        return frozenset(
-            states[i] for i, code in enumerate(self.side) if code in (S0, SPLUS)
-        )
-
-
-class IndexedEvaluator:
-    """Memoized block evaluation for one insertion search.
-
-    Evaluations are keyed by block bitmask (equivalently: by the block's
-    state frozenset), so repeated unions explored by the frontier growth,
-    the greedy merge and the concurrency enlargement are costed once.
-    The numbers produced are exactly those of
-    :func:`repro.core.cost.evaluate_block` — the object-space oracle.
+    :class:`IndexedEvaluator` owns a kernel and layers the per-search
+    memo (and the object-space conversions, which do need the state
+    objects) on top of it.
     """
 
     __slots__ = (
-        "index",
-        "conflict_pairs",
-        "pair_count",
+        "num_states",
+        "full_mask",
+        "succ_targets",
+        "in_sig_arcs",
+        "out_sig_arcs",
+        "signal_is_input",
+        "s1_template",
         "first_sides",
         "second_masks",
+        "pair_count",
         "count_input_delays",
-        "memo",
-        "hits",
-        "misses",
     )
 
-    def __init__(self, sg, conflicts, allow_input_delay: bool) -> None:
-        self.index = indexed_state_graph(sg)
-        position = self.index.position
-        self.conflict_pairs = [
-            (position[conflict.first], position[conflict.second])
-            for conflict in conflicts
-        ]
-        self.pair_count = len(self.conflict_pairs)
+    def __init__(
+        self,
+        index: "IndexedStateGraph",
+        conflict_pairs: Sequence[Tuple[int, int]],
+        count_input_delays: bool,
+    ) -> None:
+        self.num_states = index.num_states
+        self.full_mask = index.full_mask
+        self.succ_targets = index.succ_targets
+        self.in_sig_arcs = index.in_sig_arcs
+        self.out_sig_arcs = index.out_sig_arcs
+        self.signal_is_input = index.signal_is_input
+        self.s1_template = index.s1_template
+        self.pair_count = len(conflict_pairs)
         # Pairs grouped by first endpoint: a pair is *solved* when its two
         # endpoints sit firmly on opposite stable sides, so the solved
         # count per first endpoint is one AND + popcount against the
@@ -692,37 +675,23 @@ class IndexedEvaluator:
         # only g-1 distinct first endpoints), which makes this far cheaper
         # than a per-pair loop.
         grouped: Dict[int, int] = {}
-        for first, second in self.conflict_pairs:
+        for first, second in conflict_pairs:
             grouped[first] = grouped.get(first, 0) | (1 << second)
         self.first_sides = list(grouped)
         self.second_masks = [grouped[first] for first in self.first_sides]
-        self.count_input_delays = not allow_input_delay
-        self.memo: Dict[int, Optional[IndexedEvaluation]] = {}
-        self.hits = 0
-        self.misses = 0
+        self.count_input_delays = count_input_delays
 
-    def evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
+    def evaluate(self, mask: int) -> Optional["IndexedEvaluation"]:
         """Evaluate a block bitmask (``None`` for degenerate blocks)."""
-        found = self.memo.get(mask, _MISSING)
-        if found is not _MISSING:
-            self.hits += 1
-            return found
-        self.misses += 1
-        evaluation = self._evaluate(mask)
-        self.memo[mask] = evaluation
-        return evaluation
-
-    def _evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
         poll_deadline()
-        index = self.index
-        n = index.num_states
-        if mask == 0 or mask == index.full_mask:
+        n = self.num_states
+        if mask == 0 or mask == self.full_mask:
             return None
         size = mask.bit_count()
         if size >= n:
             return None
 
-        succ = index.succ_targets
+        succ = self.succ_targets
 
         # The side table doubles as the membership table while the two
         # exit borders are derived: S0 marks the block, S1 (the template
@@ -731,7 +700,7 @@ class IndexedEvaluator:
         # encodings are chosen so the remaining membership tests still
         # read correctly: block = {S0, SPLUS} = values < S1, complement
         # interior = S1).
-        side = bytearray(index.s1_template)
+        side = bytearray(self.s1_template)
         members = bits_of(mask)
         for i in members:
             side[i] = S0
@@ -788,7 +757,7 @@ class IndexedEvaluator:
         # unsolved = pairs minus the firmly separated ones (first on one
         # stable side, second on the other).
         s0_mask = mask & ~splus_mask
-        s1_mask = (index.full_mask ^ mask) & ~sminus_mask
+        s1_mask = (self.full_mask ^ mask) & ~sminus_mask
         solved = 0
         second_masks = self.second_masks
         for idx, first in enumerate(self.first_sides):
@@ -805,8 +774,8 @@ class IndexedEvaluator:
         entering_plus: Set[int] = set()
         entering_minus: Set[int] = set()
         delayed: Set[int] = set()
-        in_arcs = index.in_sig_arcs
-        out_arcs = index.out_sig_arcs
+        in_arcs = self.in_sig_arcs
+        out_arcs = self.out_sig_arcs
         for b in splus:
             for src, signal in in_arcs[b]:
                 ss = side[src]
@@ -830,7 +799,7 @@ class IndexedEvaluator:
 
         input_delays = 0
         if self.count_input_delays:
-            is_input = index.signal_is_input
+            is_input = self.signal_is_input
             input_delays = sum(1 for signal in delayed if is_input[signal])
 
         cost = Cost(
@@ -840,3 +809,117 @@ class IndexedEvaluator:
             border_size=len(splus) + len(sminus),
         )
         return IndexedEvaluation(mask, size, side, cost)
+
+
+def evaluate_candidates(
+    kernel: EvalKernel, masks: Sequence[int]
+) -> List[Optional["IndexedEvaluation"]]:
+    """Evaluate a batch of block bitmasks with a pure kernel.
+
+    The module-level worker body of the in-solve sharding: picklable,
+    stateless (all state lives in ``kernel``), and position-aligned with
+    its input — ``result[i]`` is the evaluation of ``masks[i]`` — so the
+    caller can merge shards back in generation order.
+    """
+    evaluate = kernel.evaluate
+    return [evaluate(mask) for mask in masks]
+
+
+class IndexedEvaluation:
+    """A candidate block with its side table and cost (index space)."""
+
+    __slots__ = ("mask", "size", "side", "cost")
+
+    def __init__(self, mask: int, size: int, side: bytearray, cost: Cost) -> None:
+        self.mask = mask
+        self.size = size
+        self.side = side
+        self.cost = cost
+
+    def to_partition(self, index: IndexedStateGraph) -> IPartition:
+        """The object-space I-partition this evaluation describes."""
+        buckets: Tuple[List[State], List[State], List[State], List[State]] = (
+            [],
+            [],
+            [],
+            [],
+        )
+        states = index.states
+        for i, code in enumerate(self.side):
+            buckets[code].append(states[i])
+        return IPartition(
+            s0=frozenset(buckets[S0]),
+            splus=frozenset(buckets[SPLUS]),
+            s1=frozenset(buckets[S1]),
+            sminus=frozenset(buckets[SMINUS]),
+        )
+
+    def block_states(self, index: IndexedStateGraph) -> FrozenSet[State]:
+        states = index.states
+        return frozenset(
+            states[i] for i, code in enumerate(self.side) if code in (S0, SPLUS)
+        )
+
+
+class IndexedEvaluator:
+    """Memoized block evaluation for one insertion search.
+
+    Evaluations are keyed by block bitmask (equivalently: by the block's
+    state frozenset), so repeated unions explored by the frontier growth,
+    the greedy merge and the concurrency enlargement are costed once.
+    The numbers produced are exactly those of
+    :func:`repro.core.cost.evaluate_block` — the object-space oracle.
+
+    The arithmetic lives in the evaluator's :class:`EvalKernel` — a pure,
+    picklable snapshot the in-solve sharding ships to worker processes;
+    :meth:`record` lets the search feed shard-evaluated results back into
+    the memo so the greedy merge and the concurrency enlargement reuse
+    them.
+    """
+
+    __slots__ = (
+        "index",
+        "kernel",
+        "memo",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self, sg, conflicts, allow_input_delay: bool) -> None:
+        self.index = indexed_state_graph(sg)
+        position = self.index.position
+        conflict_pairs = [
+            (position[conflict.first], position[conflict.second])
+            for conflict in conflicts
+        ]
+        self.kernel = EvalKernel(
+            self.index, conflict_pairs, count_input_delays=not allow_input_delay
+        )
+        self.memo: Dict[int, Optional[IndexedEvaluation]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, mask: int) -> Optional[IndexedEvaluation]:
+        """Evaluate a block bitmask (``None`` for degenerate blocks)."""
+        found = self.memo.get(mask, _MISSING)
+        if found is not _MISSING:
+            self.hits += 1
+            return found
+        self.misses += 1
+        evaluation = self.kernel.evaluate(mask)
+        self.memo[mask] = evaluation
+        return evaluation
+
+    def peek(self, mask: int):
+        """The memoized evaluation of ``mask``, or ``_MISSING`` sentinel
+        (used by the sharded search to skip already-evaluated blocks
+        without touching the hit/miss accounting)."""
+        return self.memo.get(mask, _MISSING)
+
+    def record(self, mask: int, evaluation: Optional[IndexedEvaluation]) -> None:
+        """Feed one shard-evaluated result back into the memo.
+
+        Counted as a miss: the work was done (in a worker), not recalled.
+        """
+        self.misses += 1
+        self.memo[mask] = evaluation

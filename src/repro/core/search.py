@@ -13,6 +13,7 @@ brick.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -23,6 +24,7 @@ from repro.core.ipartition import IPartition
 from repro.core.sip import InsertionCheck, check_insertion
 from repro.core import indexed
 from repro.engine import caches as engine_caches
+from repro.engine import shard
 from repro.stg.signals import SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import is_event_persistent
@@ -73,27 +75,52 @@ class InsertionPlan:
 
 
 class _BlockCandidate:
-    """A block under construction: its states and the bricks composing it."""
+    """A block under construction: its states and the bricks composing it.
 
-    __slots__ = ("states", "brick_indices", "evaluation")
+    ``seq`` is the candidate's discovery index within its search (seed
+    candidates in canonical brick order first, then grown candidates in
+    generation order) — the explicit tie-break key of the ranking.
+    """
+
+    __slots__ = ("states", "brick_indices", "evaluation", "seq")
 
     def __init__(
         self,
         states: FrozenSet[State],
         brick_indices: FrozenSet[int],
         evaluation: BlockEvaluation,
+        seq: int = 0,
     ) -> None:
         self.states = states
         self.brick_indices = brick_indices
         self.evaluation = evaluation
+        self.seq = seq
 
     @property
     def cost(self) -> Cost:
         return self.evaluation.cost
 
 
+def _canonical_rank(candidates, size_of):
+    """Total-order ranking shared by the legacy and indexed paths.
+
+    The key is ``(cost, size, seq)`` where ``seq`` is the candidate's
+    *discovery index*, stamped at creation.  Previously the tie-break
+    beyond ``(cost, size)`` was implicit: whatever order the list handed
+    to ``sorted`` happened to be in (CPython's stable sort preserved it),
+    so the ``max_merge_candidates`` / ``max_validity_checks`` truncations
+    silently depended on how each call site assembled its candidate
+    list.  Stamping the discovery order on the candidate makes the
+    ranking a pure function of the candidates themselves — any
+    permutation of the input ranks identically (regression-tested) —
+    while choosing exactly the blocks the insertion-order tie-break
+    chose, so no library verdict moves.
+    """
+    return sorted(candidates, key=lambda c: (c.cost, size_of(c), c.seq))
+
+
 def _rank(candidates: Sequence[_BlockCandidate]) -> List[_BlockCandidate]:
-    return sorted(candidates, key=lambda c: (c.cost, len(c.states)))
+    return _canonical_rank(candidates, lambda c: len(c.states))
 
 
 def find_insertion_plan(
@@ -101,6 +128,7 @@ def find_insertion_plan(
     signal: str,
     settings: Optional[SearchSettings] = None,
     conflicts: Optional[Sequence[CSCConflict]] = None,
+    search_jobs: int = 1,
 ) -> Optional[InsertionPlan]:
     """Find the best valid insertion of one new state signal.
 
@@ -112,6 +140,13 @@ def find_insertion_plan(
     block evaluations memoized by block frozenset; the object-space
     implementation below is the cache-disabled baseline and produces
     identical plans.
+
+    ``search_jobs > 1`` shards the candidate *evaluations* of the
+    indexed path across the worker pool of :mod:`repro.engine.shard`;
+    generation and ranking stay in-process and results are merged in
+    generation order, so the chosen plan is byte-identical to a serial
+    search at any worker count.  The legacy (cache-disabled) path is the
+    frozen differential oracle and always runs serially.
     """
     settings = settings or SearchSettings()
     if conflicts is None:
@@ -127,7 +162,7 @@ def find_insertion_plan(
 
     if engine_caches.caches_enabled():
         return _find_insertion_plan_indexed(
-            sg, signal, settings, conflicts, full_conflict_count
+            sg, signal, settings, conflicts, full_conflict_count, search_jobs
         )
     return _find_insertion_plan_legacy(
         sg, signal, settings, conflicts, full_conflict_count
@@ -159,6 +194,7 @@ def _find_insertion_plan_legacy(
     # --- seed: every brick is a candidate block -------------------------
     seen_blocks: Set[FrozenSet[State]] = set()
     good: List[_BlockCandidate] = []
+    next_seq = itertools.count()
     for index, brick in enumerate(bricks):
         evaluation = evaluate_block(
             sg, brick, conflicts, allow_input_delay=settings.allow_input_delay
@@ -166,7 +202,11 @@ def _find_insertion_plan_legacy(
         if evaluation is None or evaluation.block in seen_blocks:
             continue
         seen_blocks.add(evaluation.block)
-        good.append(_BlockCandidate(evaluation.block, frozenset([index]), evaluation))
+        good.append(
+            _BlockCandidate(
+                evaluation.block, frozenset([index]), evaluation, next(next_seq)
+            )
+        )
     if not good:
         return None
 
@@ -197,6 +237,7 @@ def _find_insertion_plan_legacy(
                         grown_states,
                         candidate.brick_indices | {brick_index},
                         evaluation,
+                        next(next_seq),
                     )
                     good.append(grown)
                     new_frontier.append(grown)
@@ -263,18 +304,20 @@ def _find_insertion_plan_legacy(
 class _IndexedCandidate:
     """Index-space twin of :class:`_BlockCandidate` (block as a bitmask)."""
 
-    __slots__ = ("mask", "size", "brick_indices", "evaluation")
+    __slots__ = ("mask", "size", "brick_indices", "evaluation", "seq")
 
     def __init__(
         self,
         mask: int,
         brick_indices: FrozenSet[int],
         evaluation: "indexed.IndexedEvaluation",
+        seq: int = 0,
     ) -> None:
         self.mask = mask
         self.size = evaluation.size
         self.brick_indices = brick_indices
         self.evaluation = evaluation
+        self.seq = seq
 
     @property
     def cost(self) -> Cost:
@@ -282,7 +325,30 @@ class _IndexedCandidate:
 
 
 def _rank_indexed(candidates: Sequence[_IndexedCandidate]) -> List[_IndexedCandidate]:
-    return sorted(candidates, key=lambda c: (c.cost, c.size))
+    return _canonical_rank(candidates, lambda c: c.size)
+
+
+def _evaluate_masks(evaluator, masks: Sequence[int], pool) -> None:
+    """Make sure every mask in ``masks`` is in the evaluator's memo.
+
+    The evaluation half of the generate/evaluate split: masks not yet
+    memoized are costed either inline or — when a shard pool is open and
+    the batch is worth a round trip — on the pool's workers, whose pure
+    :class:`~repro.core.indexed.EvalKernel` results are recorded back
+    into the memo.  Either way the subsequent merge reads evaluations
+    from the memo in generation order, so the outcome is identical.
+    """
+    pending = [
+        mask
+        for mask in dict.fromkeys(masks)
+        if evaluator.peek(mask) is indexed.MISSING
+    ]
+    if pool is not None and len(pending) >= pool.min_batch:
+        for mask, evaluation in zip(pending, pool.evaluate_batch(pending)):
+            evaluator.record(mask, evaluation)
+    else:
+        for mask in pending:
+            evaluator.evaluate(mask)
 
 
 def _find_insertion_plan_indexed(
@@ -291,6 +357,7 @@ def _find_insertion_plan_indexed(
     settings: SearchSettings,
     conflicts: Sequence[CSCConflict],
     full_conflict_count: int,
+    search_jobs: int = 1,
 ) -> Optional[InsertionPlan]:
     """The Figure-4 search on the integer-indexed fast path.
 
@@ -298,6 +365,13 @@ def _find_insertion_plan_indexed(
     :func:`_find_insertion_plan_legacy`; blocks are bitmasks, evaluations
     are memoized per block, and brick decomposition/adjacency come from
     the per-graph cache.
+
+    Candidate handling is split into ordered *generation* (the seen-set
+    and frontier bookkeeping, always in-process) and pure *evaluation*
+    (batched through :func:`_evaluate_masks`, sharded across
+    ``search_jobs`` workers when requested).  The merge that follows each
+    evaluation batch walks the generated candidates in generation order,
+    which reproduces the serial search decision for decision.
     """
     bricks, masks, adjacency = indexed.indexed_brick_bundle(
         sg, mode=settings.brick_mode, max_explored=settings.region_budget
@@ -310,35 +384,50 @@ def _find_insertion_plan_indexed(
         sg, conflicts, allow_input_delay=settings.allow_input_delay
     )
 
-    # --- seed: every brick is a candidate block -------------------------
     seen_blocks: Set[int] = set()
     good: List[_IndexedCandidate] = []
-    for brick_index, mask in enumerate(masks):
-        evaluation = evaluator.evaluate(mask)
-        if evaluation is None or mask in seen_blocks:
-            continue
-        seen_blocks.add(mask)
-        good.append(_IndexedCandidate(mask, frozenset([brick_index]), evaluation))
-    if not good:
-        return None
+    next_seq = itertools.count()
+    with shard.search_pool(evaluator.kernel, search_jobs) as pool:
+        # --- seed: every brick is a candidate block ---------------------
+        _evaluate_masks(evaluator, masks, pool)
+        for brick_index, mask in enumerate(masks):
+            evaluation = evaluator.evaluate(mask)
+            if evaluation is None or mask in seen_blocks:
+                continue
+            seen_blocks.add(mask)
+            good.append(
+                _IndexedCandidate(
+                    mask, frozenset([brick_index]), evaluation, next(next_seq)
+                )
+            )
+        if not good:
+            return None
 
-    frontier = _rank_indexed(good)[: settings.frontier_width]
+        frontier = _rank_indexed(good)[: settings.frontier_width]
 
-    # --- Figure 4: grow blocks with adjacent bricks ---------------------
-    for _iteration in range(settings.max_search_iterations):
-        new_frontier: List[_IndexedCandidate] = []
-        for candidate in frontier:
-            check_deadline()
-            neighbour_indices: Set[int] = set()
-            for brick_index in candidate.brick_indices:
-                neighbour_indices.update(adjacency[brick_index])
-            neighbour_indices -= set(candidate.brick_indices)
-            for brick_index in sorted(neighbour_indices):
-                grown_mask = candidate.mask | masks[brick_index]
-                if grown_mask in seen_blocks or grown_mask.bit_count() >= num_states:
-                    continue
+        # --- Figure 4: grow blocks with adjacent bricks -----------------
+        for _iteration in range(settings.max_search_iterations):
+            # generation: enlargements in frontier order, deduplicated by
+            # the seen-set exactly as the serial interleaving would
+            grown_tasks: List[Tuple[_IndexedCandidate, int, int]] = []
+            for candidate in frontier:
+                check_deadline()
+                neighbour_indices: Set[int] = set()
+                for brick_index in candidate.brick_indices:
+                    neighbour_indices.update(adjacency[brick_index])
+                neighbour_indices -= set(candidate.brick_indices)
+                for brick_index in sorted(neighbour_indices):
+                    grown_mask = candidate.mask | masks[brick_index]
+                    if grown_mask in seen_blocks or grown_mask.bit_count() >= num_states:
+                        continue
+                    seen_blocks.add(grown_mask)
+                    grown_tasks.append((candidate, brick_index, grown_mask))
+            # evaluation: pure per-mask work, sharded when worth it
+            _evaluate_masks(evaluator, [task[2] for task in grown_tasks], pool)
+            # merge: acceptance in generation order (deterministic)
+            new_frontier: List[_IndexedCandidate] = []
+            for candidate, brick_index, grown_mask in grown_tasks:
                 evaluation = evaluator.evaluate(grown_mask)
-                seen_blocks.add(grown_mask)
                 if evaluation is None:
                     continue
                 if evaluation.cost < candidate.cost:
@@ -346,12 +435,13 @@ def _find_insertion_plan_indexed(
                         grown_mask,
                         candidate.brick_indices | {brick_index},
                         evaluation,
+                        next(next_seq),
                     )
                     good.append(grown)
                     new_frontier.append(grown)
-        if not new_frontier:
-            break
-        frontier = _rank_indexed(new_frontier)[: settings.frontier_width]
+            if not new_frontier:
+                break
+            frontier = _rank_indexed(new_frontier)[: settings.frontier_width]
 
     ranked = _rank_indexed(good)
 

@@ -40,6 +40,16 @@ class SolverSettings:
     it along with every other solver knob.  ``solve_csc`` itself always
     works on an explicit graph; dispatch happens in
     :mod:`repro.engine.batch`.
+
+    ``search_jobs`` shards the candidate evaluations *inside* each
+    Figure-4 insertion search across the worker pool of
+    :mod:`repro.engine.shard`.  Unlike ``engine`` it is
+    fingerprint-*irrelevant*: a sharded search merges its results in
+    generation order and is byte-identical to a serial one by
+    construction, so the service excludes it from the request identity
+    (like ``verbose``).  ``encode_many`` clamps it by the pool-budget
+    rule so STG-level ``jobs`` × ``search_jobs`` never oversubscribes
+    the machine.
     """
 
     search: SearchSettings = field(default_factory=SearchSettings)
@@ -48,6 +58,7 @@ class SolverSettings:
     verbose: bool = False
     require_progress: bool = True
     engine: str = "explicit"
+    search_jobs: int = 1
 
 
 @dataclass
@@ -158,7 +169,11 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
             break
         signal = _fresh_signal_name(current, settings.signal_prefix, counter)
         plan: Optional[InsertionPlan] = find_insertion_plan(
-            current, signal, settings.search, conflicts=conflicts
+            current,
+            signal,
+            settings.search,
+            conflicts=conflicts,
+            search_jobs=settings.search_jobs,
         )
         if plan is None:
             if settings.verbose:

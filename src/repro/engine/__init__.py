@@ -12,7 +12,11 @@ benchmark libraries:
   :mod:`repro.core.indexed` and is what the core pipeline computes on;
 * :mod:`repro.engine.batch` — ``encode_many``: encode many STGs
   concurrently through a process pool, with byte-identical results
-  between serial and parallel runs.
+  between serial and parallel runs;
+* :mod:`repro.engine.shard` — in-solve sharding: the worker pool behind
+  ``SolverSettings.search_jobs``, which parallelises the candidate
+  evaluations *inside* one Figure-4 insertion search (byte-identical to
+  serial at any width, budget-clamped against batch-level ``jobs``).
 
 ``repro.engine.batch`` imports the high-level API (which in turn imports
 the core solver and therefore this package), so its names are re-exported

@@ -28,6 +28,7 @@ explicitly (``explicit_ok=False``) — the workload this tier opens up.
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -35,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
 from repro.core.solver import ENGINES, SolverSettings
 from repro.engine.caches import use_caches
+from repro.engine.shard import shard_budget
 from repro.stg.stg import STG
 from repro.utils.deadline import DeadlineExceeded, deadline
 from repro.utils.timing import Stopwatch
@@ -127,6 +129,33 @@ def resolve_engine(
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     return engine
+
+
+def budgeted_settings(
+    settings: Optional[SolverSettings],
+    jobs: int,
+    search_jobs: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> Optional[SolverSettings]:
+    """Settings with ``search_jobs`` overridden and budget-clamped.
+
+    The pool-budget rule (:func:`repro.engine.shard.shard_budget`): with
+    ``jobs`` STG-level workers, the per-request in-solve worker count is
+    clamped so ``jobs × search_jobs`` never exceeds the machine budget.
+    Clamping never changes results — a sharded search is byte-identical
+    at any worker count — so it is safe to apply silently.  Returns the
+    input object untouched when nothing changes.
+    """
+    requested = search_jobs
+    if requested is None:
+        requested = settings.search_jobs if settings is not None else 1
+    effective = shard_budget(jobs, requested, budget=budget)
+    current = settings.search_jobs if settings is not None else 1
+    if effective == current:
+        return settings
+    if settings is None:
+        settings = SolverSettings()
+    return dataclasses.replace(settings, search_jobs=effective)
 
 
 def _encode_one(payload) -> BatchItem:
@@ -239,6 +268,7 @@ def encode_many(
     caches_on: bool = True,
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
+    search_jobs: Optional[int] = None,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
 
@@ -273,6 +303,13 @@ def encode_many(
         batch; ``None`` (default) respects each request's
         ``SolverSettings.engine``.  For symbolic engines ``max_states``
         doubles as the hybrid materialization budget.
+    search_jobs:
+        In-solve sharding width applied to the whole batch; ``None``
+        (default) respects each request's ``SolverSettings.search_jobs``.
+        Either way the value is clamped by the pool-budget rule
+        (:func:`budgeted_settings`) so ``jobs × search_jobs`` never
+        oversubscribes the machine; results are byte-identical at any
+        width.
     """
     stgs = list(stgs)
     if isinstance(settings, SolverSettings) or settings is None:
@@ -284,18 +321,26 @@ def encode_many(
                 f"got {len(per_stg)} settings for {len(stgs)} STGs; "
                 "pass one SolverSettings or one per STG"
             )
-    payloads = [
-        (
-            stg,
-            case_settings,
-            estimate_logic,
-            max_states,
-            caches_on,
-            timeout,
-            resolve_engine(case_settings, engine),
+    # The budget clamp keys on the worker count that will actually run:
+    # the executor below spawns min(jobs, len(stgs)) workers, and a
+    # batch of fewer than two items executes serially regardless of
+    # ``jobs`` — either way the solves keep the sharding width the real
+    # process count affords.
+    effective_jobs = min(jobs, len(stgs)) if (jobs > 1 and len(stgs) >= 2) else 1
+    payloads = []
+    for stg, case_settings in zip(stgs, per_stg):
+        case_settings = budgeted_settings(case_settings, effective_jobs, search_jobs)
+        payloads.append(
+            (
+                stg,
+                case_settings,
+                estimate_logic,
+                max_states,
+                caches_on,
+                timeout,
+                resolve_engine(case_settings, engine),
+            )
         )
-        for stg, case_settings in zip(stgs, per_stg)
-    ]
 
     watch = Stopwatch().start()
     if jobs <= 1 or len(payloads) < 2:
@@ -364,6 +409,7 @@ def run_benchmark_suite(
     caches_on: bool = True,
     timeout: Optional[float] = None,
     engine: str = "explicit",
+    search_jobs: Optional[int] = None,
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
 
@@ -409,4 +455,5 @@ def run_benchmark_suite(
         caches_on=caches_on,
         timeout=timeout,
         engine=engine,
+        search_jobs=search_jobs,
     )

@@ -79,6 +79,12 @@ class EncodingService:
         Per-job wall-clock bound in seconds, ``None`` = unbounded.
     max_entries:
         Optional LRU bound on the result store.
+    search_jobs:
+        Server-side default for in-solve sharding
+        (``SolverSettings.search_jobs``), applied to jobs that do not
+        request a width themselves; always budget-clamped against
+        ``jobs`` (see :class:`repro.service.workers.WorkerPool`).
+        Fingerprint-irrelevant, so it never splits the result store.
     autostart:
         Start the worker pool immediately (default).  Pass ``False`` to
         inspect queue contents without draining them.
@@ -92,12 +98,18 @@ class EncodingService:
         max_entries: Optional[int] = None,
         poll_interval: float = 0.05,
         autostart: bool = True,
+        search_jobs: Optional[int] = None,
     ) -> None:
         self.store = ResultStore(store_path, max_entries=max_entries)
         self.queue = JobQueue(store_path)
         self.recovered_jobs = self.queue.recover()
         self.pool = WorkerPool(
-            self.queue, self.store, jobs=jobs, timeout=timeout, poll_interval=poll_interval
+            self.queue,
+            self.store,
+            jobs=jobs,
+            timeout=timeout,
+            poll_interval=poll_interval,
+            search_jobs=search_jobs,
         )
         self._started_at = time.time()
         if autostart:
@@ -110,6 +122,7 @@ class EncodingService:
         settings: Optional[SolverSettings] = None,
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
+        search_jobs: Optional[int] = None,
     ) -> Dict[str, object]:
         """Submit one encoding request; dedupes against the result store.
 
@@ -128,6 +141,15 @@ class EncodingService:
         ``"symbolic"`` / ``"auto"``).  The engine is part of the request
         fingerprint: an explicit encoding and a symbolic verdict of the
         same STG are different results and dedupe separately.
+
+        ``search_jobs`` is the request's *explicit* in-solve sharding
+        width (``None`` falls back to ``settings.search_jobs``, where the
+        default ``1`` means "unspecified" and inherits the server-wide
+        default).  The width is execution-only: it is persisted on the
+        job (not in the canonical settings), capped by the worker pool
+        against the service budget, and deliberately absent from the
+        request fingerprint — a sharded solve stores the identical
+        payload a serial one would.
         """
         if engine is not None:
             if engine not in ENGINES:
@@ -152,6 +174,15 @@ class EncodingService:
             "settings": canonical_settings(settings),
             "max_states": max_states,
         }
+        # The canonical settings drop execution-only knobs, so the
+        # requested width travels on the job record itself; ``1`` from
+        # the dataclass default is "unspecified", an explicit value via
+        # the parameter (the HTTP layer forwards the raw field, so a
+        # client's literal ``"search_jobs": 1`` arrives here) is kept.
+        if search_jobs is None and settings is not None and settings.search_jobs != 1:
+            search_jobs = settings.search_jobs
+        if search_jobs is not None:
+            request["search_jobs"] = int(search_jobs)
         job_id = self.queue.submit(fingerprint, stg.name, request)
         return {
             "fingerprint": fingerprint,
@@ -168,6 +199,7 @@ class EncodingService:
         settings: Optional[SolverSettings] = None,
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
+        search_jobs: Optional[int] = None,
     ) -> Dict[str, object]:
         """Submit a named library benchmark.
 
@@ -191,7 +223,11 @@ class EncodingService:
         if effective_engine != "explicit" and not case.solve:
             settings = dataclasses.replace(settings, max_signals=0)
         return self.submit(
-            case.build(), settings=settings, max_states=max_states, engine=engine
+            case.build(),
+            settings=settings,
+            max_states=max_states,
+            engine=engine,
+            search_jobs=search_jobs,
         )
 
     # -- retrieval ------------------------------------------------------

@@ -47,8 +47,12 @@ __all__ = [
 #: and an explicit encoding are different results for the same STG).
 FINGERPRINT_VERSION = 2
 
-#: Settings fields that do not influence the produced encoding.
-_PRESENTATION_ONLY = {"verbose"}
+#: Settings fields that do not influence the produced encoding:
+#: ``verbose`` is presentation-only, ``search_jobs`` is execution-only
+#: (the sharded Figure-4 search is byte-identical to the serial one by
+#: construction — see :mod:`repro.engine.shard`), so requests differing
+#: only in these dedupe to the same fingerprint.
+_PRESENTATION_ONLY = {"verbose", "search_jobs"}
 
 
 def canonical_stg(stg: STG) -> Dict[str, object]:

@@ -9,9 +9,15 @@ Endpoints (all JSON):
     dictionary, e.g. ``{"search": {"frontier_width": 16}}``),
     ``"max_states"``, and ``"engine"`` (``"explicit"`` / ``"symbolic"``
     / ``"auto"``; shorthand for ``settings.engine`` and, like every
-    settings field, part of the request fingerprint).  Answers ``200``
-    instantly with the embedded result on a store hit, ``202`` with a
-    ``job_id`` otherwise.
+    settings field, part of the request fingerprint).  Exception:
+    ``settings.search_jobs`` (in-solve sharding width) is accepted but
+    fingerprint-*irrelevant* — a sharded solve is byte-identical to a
+    serial one, so widths must not split the result store; the worker
+    pool caps it against the service budget (jobs × width never exceeds
+    ``max(jobs, cpu_count, server default)``), since request settings
+    are untrusted input.  Answers
+    ``200`` instantly with the embedded result on a store hit, ``202``
+    with a ``job_id`` otherwise.
 ``GET /jobs/{id}``
     Job status; embeds the result once the job is done (polling this
     endpoint does not skew the store's hit/miss accounting).
@@ -130,6 +136,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         engine = body.get("engine")
         if engine is not None and not isinstance(engine, str):
             raise _BadRequest('"engine" must be a string')
+        # The raw field distinguishes an explicit "search_jobs": 1 (a
+        # serial-solve request, respected over the server default) from
+        # an absent one — the parsed SolverSettings cannot, because 1 is
+        # also the dataclass default.
+        search_jobs = None
+        if isinstance(body.get("settings"), dict) and "search_jobs" in body["settings"]:
+            search_jobs = body["settings"]["search_jobs"]
+            if not isinstance(search_jobs, int) or search_jobs < 1:
+                raise _BadRequest('"settings.search_jobs" must be a positive integer')
 
         if ("g" in body) == ("benchmark" in body):
             raise _BadRequest('provide exactly one of "g" or "benchmark"')
@@ -142,7 +157,11 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 except Exception as error:
                     raise _BadRequest(f"cannot parse .g body: {error}")
                 outcome = service.submit(
-                    stg, settings=settings, max_states=max_states, engine=engine
+                    stg,
+                    settings=settings,
+                    max_states=max_states,
+                    engine=engine,
+                    search_jobs=search_jobs,
                 )
             else:
                 table = body.get("table", "table2")
@@ -153,6 +172,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         settings=settings,
                         max_states=max_states,
                         engine=engine,
+                        search_jobs=search_jobs,
                     )
                 except KeyError as error:
                     raise _BadRequest(str(error.args[0]) if error.args else str(error))

@@ -1,74 +1,20 @@
-"""Differential suite: the indexed pipeline vs the object-space oracle.
+"""Differential suite: indexed *representation* twins vs object space.
 
 The canonical integer/bitset representation (:mod:`repro.core.indexed`)
-must be invisible in the results: for every STG the cached/indexed
-solver has to produce *byte-identical* encodings — same inserted
-signals, same costs, same conflict counts, same final state graph, same
-logic estimate — as the legacy object-space pipeline that remains
-reachable behind ``use_caches(False)``.
-
-Covered here:
-
-* the full built-in benchmark library (every solvable Table-1/Table-2
-  case, run with its own library solver settings — the same regime as
-  the ``pyetrify bench --all`` sweep), and
-* hypothesis-generated STGs drawn from the parametric generator
-  families, seeded deterministically via the repository-wide
-  ``--repro-seed`` option (the conftest loads a derandomized hypothesis
-  profile, so CI runs are reproducible).
+must be invisible in the results.  The solver-level identity — legacy
+oracle vs indexed engine vs sharded search vs hybrid bridge, over the
+full library and random STGs — is pinned by the cross-engine harness in
+``tests/test_conformance.py``; this file keeps the *representation*
+checks: every bitmask helper twin (exit borders, MWFEB, I-partition
+quads, ER/SR set masks, value bit-vectors) must equal its object-space
+definition state for state.
 """
 
 from __future__ import annotations
 
-import json
-
 import pytest
-from hypothesis import HealthCheck, given, settings as hsettings, strategies as st
 
-from repro.api import encode_stg
-from repro.bench_stg import generators as gen
 from repro.bench_stg.library import get_case
-from repro.core.csc import has_csc
-from repro.engine import use_caches
-from repro.engine.batch import suite_cases
-
-LIBRARY_CASES = suite_cases("all")
-# Case names repeat across tables (e.g. master-read), so make ids unique.
-_IDS = [f"{i:02d}-{case.name}" for i, case in enumerate(LIBRARY_CASES)]
-
-
-def _encode(stg, solver_settings, caches_on, max_states):
-    with use_caches(caches_on):
-        return encode_stg(stg, settings=solver_settings, max_states=max_states)
-
-
-def _assert_identical(legacy, fast):
-    # fingerprint() is the JSON summary minus timing: insertions with
-    # their costs and sizes, conflict counts, state counts, solved flag.
-    assert fast.result.fingerprint() == legacy.result.fingerprint()
-    # The reduction to the benchmark-table row (including the logic
-    # estimate) must agree as well, minus the cpu column.
-    fast_row = {k: v for k, v in fast.table_row().items() if k != "cpu"}
-    legacy_row = {k: v for k, v in legacy.table_row().items() if k != "cpu"}
-    assert fast_row == legacy_row
-    assert fast.area_literals == legacy.area_literals
-    # And both must round-trip through JSON to the same bytes (the shape
-    # CI artifacts and the service store persist).
-    assert json.dumps(fast.result.fingerprint(), sort_keys=True) == json.dumps(
-        legacy.result.fingerprint(), sort_keys=True
-    )
-
-
-@pytest.mark.parametrize("case", LIBRARY_CASES, ids=_IDS)
-def test_library_case_indexed_matches_legacy(case):
-    """Per library case: indexed/cached solver == object-space oracle."""
-    legacy = _encode(case.build(), case.solver_settings(), False, 200000)
-    fast = _encode(case.build(), case.solver_settings(), True, 200000)
-    _assert_identical(legacy, fast)
-    if fast.solved:
-        with use_caches(False):
-            assert has_csc(fast.result.final_sg)
-
 
 # ----------------------------------------------------------------------
 # bitmask helper twins vs their object-space oracles
@@ -160,39 +106,3 @@ def test_event_set_masks_and_value_masks_match_object_space(name):
             if sg.value(state, signal):
                 expected |= 1 << i
         assert isg.value_mask(signal) == expected
-
-
-# ----------------------------------------------------------------------
-# hypothesis: random STGs from the parametric generator families
-# ----------------------------------------------------------------------
-@st.composite
-def random_stgs(draw):
-    """Random CSC-conflicting STGs (bounded sizes, all families)."""
-    family = draw(
-        st.sampled_from(
-            ["sequencer", "mixed", "parallel", "independent", "counter", "chain"]
-        )
-    )
-    if family == "sequencer":
-        return gen.sequencer(draw(st.integers(min_value=2, max_value=5)))
-    if family == "mixed":
-        num_parallel = draw(st.integers(min_value=0, max_value=2))
-        min_sequential = 1 if num_parallel == 0 else 0
-        num_sequential = draw(st.integers(min_value=min_sequential, max_value=3))
-        return gen.mixed_controller(num_parallel, num_sequential)
-    if family == "parallel":
-        return gen.parallel_toggles(draw(st.integers(min_value=1, max_value=3)))
-    if family == "independent":
-        return gen.independent_toggles(draw(st.integers(min_value=1, max_value=3)))
-    if family == "counter":
-        return gen.ripple_counter(draw(st.integers(min_value=2, max_value=4)))
-    return gen.handshake_wire_chain(draw(st.integers(min_value=1, max_value=4)))
-
-
-@hsettings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(stg=random_stgs())
-def test_random_stgs_indexed_matches_legacy(stg):
-    """Generated STGs: indexed/cached solver == object-space oracle."""
-    legacy = _encode(stg, None, False, 20000)
-    fast = _encode(stg, None, True, 20000)
-    _assert_identical(legacy, fast)

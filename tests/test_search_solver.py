@@ -11,6 +11,10 @@ from repro.core import (
     has_csc,
     solve_csc,
 )
+from repro.core import indexed as idx
+from repro.core.cost import BlockEvaluation, Cost
+from repro.core.search import _BlockCandidate, _IndexedCandidate, _rank, _rank_indexed
+from repro.engine.shard import use_shard_mode
 from repro.stg import build_state_graph
 
 
@@ -47,6 +51,83 @@ class TestSearch:
         plan = find_insertion_plan(vme_sg, "csc0", SearchSettings(brick_mode="states"))
         if plan is not None:
             assert plan.check.ok
+
+    def test_sharded_search_finds_the_same_plan(self, vme_sg):
+        serial = find_insertion_plan(vme_sg, "csc0")
+        with use_shard_mode("thread"):
+            sharded = find_insertion_plan(vme_sg, "csc0", search_jobs=3)
+        assert serial is not None and sharded is not None
+        assert sharded.block == serial.block
+        assert sharded.cost == serial.cost
+        assert sharded.partition == serial.partition
+
+
+def _legacy_candidate(states, cost, seq):
+    block = frozenset(states)
+    return _BlockCandidate(
+        block, frozenset(), BlockEvaluation(block=block, partition=None, cost=cost), seq
+    )
+
+
+class TestCanonicalRank:
+    """Regression tests for the canonical truncation order.
+
+    Candidates tied on ``(cost, size)`` used to keep whatever order the
+    list handed to ``sorted`` happened to be in, so the
+    ``max_merge_candidates`` / ``max_validity_checks`` truncations
+    depended on how each call site assembled its candidate list (masked
+    in practice by CPython's stable sort and dict ordering).  The rank
+    key now ends in the candidate's stamped discovery index: any
+    permutation of the input must rank identically.
+    """
+
+    def test_legacy_rank_is_list_order_independent(self):
+        tied = Cost(1, 0, 2, 2)
+        candidates = [
+            _legacy_candidate({f"s{i}", f"t{i}"}, tied, seq) for seq, i in enumerate([4, 2, 0, 5, 1, 3])
+        ]
+        # a strictly better and a strictly worse candidate keep the
+        # primary (cost, size) order intact around the tie group
+        best = _legacy_candidate({"a0"}, Cost(0, 0, 1, 1), 6)
+        worst = _legacy_candidate({"z0", "z1", "z2"}, Cost(2, 0, 9, 9), 7)
+        pool = [worst, *candidates, best]
+        rank_forward = [c.states for c in _rank(pool)]
+        rank_reversed = [c.states for c in _rank(list(reversed(pool)))]
+        rank_rotated = [c.states for c in _rank(pool[3:] + pool[:3])]
+        assert rank_forward == rank_reversed == rank_rotated
+        assert rank_forward[0] == best.states
+        assert rank_forward[-1] == worst.states
+        # within the tie group the order is the stamped discovery order,
+        # not the (permuted) list order
+        assert rank_forward[1:-1] == [c.states for c in candidates]
+
+    def test_indexed_rank_matches_legacy_rank(self, vme_sg):
+        """The two paths must break ties identically (lockstep rule)."""
+        isg = idx.indexed_state_graph(vme_sg)
+        tied = Cost(1, 0, 2, 2)
+        masks = [1 << i for i in [3, 0, 5, 1, 4, 2]]
+        indexed_candidates = [
+            _IndexedCandidate(
+                mask, frozenset(), idx.IndexedEvaluation(mask, 1, bytearray(), tied), seq
+            )
+            for seq, mask in enumerate(masks)
+        ]
+        legacy_candidates = [
+            _legacy_candidate(isg.frozenset_of_mask(mask), tied, seq)
+            for seq, mask in enumerate(masks)
+        ]
+        for rotation in range(len(masks)):
+            perm_indexed = indexed_candidates[rotation:] + indexed_candidates[:rotation]
+            perm_legacy = legacy_candidates[rotation:] + legacy_candidates[:rotation]
+            ranked_indexed = [
+                isg.frozenset_of_mask(c.mask) for c in _rank_indexed(perm_indexed)
+            ]
+            ranked_legacy = [c.states for c in _rank(perm_legacy)]
+            assert ranked_indexed == ranked_legacy
+            # discovery order, independent of the rotation
+            assert ranked_indexed == [
+                isg.frozenset_of_mask(mask) for mask in masks
+            ]
 
 
 class TestSolver:

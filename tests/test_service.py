@@ -53,6 +53,14 @@ class TestFingerprint:
             request_fingerprint(stg, settings=SolverSettings(verbose=False))
         )
 
+    def test_search_jobs_is_execution_only(self):
+        """The in-solve sharding width never changes the encoding, so a
+        width difference must not split the content-addressed store."""
+        stg = load_benchmark("vme2int")
+        assert request_fingerprint(stg, settings=SolverSettings(search_jobs=4)) == (
+            request_fingerprint(stg, settings=SolverSettings())
+        )
+
     def test_sensitive_to_settings_and_bounds(self):
         stg = load_benchmark("vme2int")
         base = request_fingerprint(stg)
@@ -278,6 +286,24 @@ def _result_identity(payload):
 
 
 class TestEncodingServiceEndToEnd:
+    def test_sharded_submission_dedupes_against_serial_result(self, tmp_path):
+        """A request with ``search_jobs=2`` must content-address to the
+        serial result (and the server-default sharded solve must store
+        the identical payload a serial service run would)."""
+        import dataclasses
+
+        case = get_case("vme2int")
+        settings = case.solver_settings()
+        with EncodingService(str(tmp_path / "svc.db"), jobs=1, search_jobs=2) as svc:
+            first = svc.submit(case.build(), settings=settings, max_states=5000)
+            payload = svc.wait(first["fingerprint"], timeout=120.0)
+            _settle(svc)
+            sharded = dataclasses.replace(settings, search_jobs=2)
+            second = svc.submit(case.build(), settings=sharded, max_states=5000)
+            assert second["cached"], "sharded request missed the serial result"
+            assert second["fingerprint"] == first["fingerprint"]
+            assert _result_identity(second["result"]) == _result_identity(payload)
+
     def test_submit_twice_dedupes_and_matches_encode_stg(self, tmp_path):
         case = get_case("vme2int")
         settings = case.solver_settings()
@@ -414,3 +440,70 @@ class TestEncodingServiceEndToEnd:
             assert stats["store"]["entries"] == 1
             assert stats["version"]
             json.dumps(stats)  # must be JSON-serialisable as served by /stats
+
+
+# ----------------------------------------------------------------------
+# worker-pool sharding policy (server default, explicit width, cap)
+# ----------------------------------------------------------------------
+class TestWorkerShardingPolicy:
+    @staticmethod
+    def _pool(tmp_path, jobs=1, search_jobs=None):
+        from repro.service.workers import WorkerPool
+
+        queue = JobQueue(str(tmp_path / "q.db"))
+        store = ResultStore(str(tmp_path / "s.db"))
+        return WorkerPool(queue, store, jobs=jobs, search_jobs=search_jobs)
+
+    def test_huge_requested_width_is_capped(self, tmp_path):
+        """Untrusted request widths cannot fork thousands of workers."""
+        import os
+
+        pool = self._pool(tmp_path, jobs=1)
+        settings = pool._sharding_settings(settings_from_dict(None), 5000)
+        assert settings.search_jobs <= max(1, os.cpu_count() or 1)
+
+    def test_explicit_serial_request_is_respected(self, tmp_path):
+        """An explicit width of 1 means serial even under a server
+        default — 1 on the job record is explicit, not absent."""
+        pool = self._pool(tmp_path, jobs=1, search_jobs=4)
+        settings = pool._sharding_settings(settings_from_dict(None), 1)
+        assert settings.search_jobs == 1
+
+    def test_server_default_applies_when_width_absent(self, tmp_path):
+        pool = self._pool(tmp_path, jobs=1, search_jobs=3)
+        settings = pool._sharding_settings(settings_from_dict(None), None)
+        # capped against max(jobs, cpu_count, default) — never above the
+        # server default itself on a small host
+        assert 1 <= settings.search_jobs <= 3
+
+    def test_width_shares_budget_with_job_slots(self, tmp_path):
+        """jobs × width stays within the service budget."""
+        import os
+
+        pool = self._pool(tmp_path, jobs=4, search_jobs=8)
+        settings = pool._sharding_settings(settings_from_dict(None), None)
+        budget = max(4, os.cpu_count() or 1, 8)
+        assert 4 * settings.search_jobs <= budget
+
+    def test_submit_persists_requested_width_outside_canonical_settings(self, tmp_path):
+        """The canonical settings drop search_jobs (fingerprint-irrelevant),
+        so the requested width must ride on the job record itself —
+        including an explicit 1, which the HTTP layer forwards from the
+        raw settings body."""
+        stg = load_benchmark("vme2int")
+        with EncodingService(str(tmp_path / "svc.db"), autostart=False) as svc:
+            sharded = svc.submit(stg, settings=SolverSettings(search_jobs=4))
+            job = svc.job(sharded["job_id"])
+            assert job.request["search_jobs"] == 4
+            assert "search_jobs" not in job.request["settings"]
+
+            explicit_serial = svc.submit(
+                stg, settings=SolverSettings(search=SearchSettings(frontier_width=4)),
+                search_jobs=1,
+            )
+            job = svc.job(explicit_serial["job_id"])
+            assert job.request["search_jobs"] == 1
+
+            unspecified = svc.submit(stg, max_states=1000)
+            job = svc.job(unspecified["job_id"])
+            assert "search_jobs" not in job.request

@@ -209,3 +209,32 @@ def test_malformed_json_body_is_a_400(service_server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(request, timeout=30)
     assert excinfo.value.code == 400
+
+
+def test_search_jobs_width_is_forwarded_and_fingerprint_neutral(service_server):
+    """The raw settings field reaches the job record (explicit 1
+    included), while the fingerprint ignores it — a width-only variation
+    dedupes against the stored result."""
+    service, base = service_server
+    g_text = stg_to_g_text(load_benchmark("vme2int"))
+
+    status, first = _request(
+        base, "POST", "/jobs", {"g": g_text, "settings": {"search_jobs": 2}}
+    )
+    assert status == 202
+    job = service.job(first["job_id"])
+    assert job.request["search_jobs"] == 2
+    assert "search_jobs" not in job.request["settings"]
+    _await_done(base, first["job_id"])
+
+    # width-only variation: instant store hit, same fingerprint
+    status, second = _request(
+        base, "POST", "/jobs", {"g": g_text, "settings": {"search_jobs": 1}}
+    )
+    assert status == 200 and second["cached"]
+    assert second["fingerprint"] == first["fingerprint"]
+
+    status, bad = _request(
+        base, "POST", "/jobs", {"g": g_text, "settings": {"search_jobs": 0}}
+    )
+    assert status == 400

@@ -15,16 +15,15 @@ Covered here:
 * ER/SR sets as explicit marking sets on the mid-size cases;
 * per-state code agreement (the symbolic valuation of every reachable
   state equals the inferred explicit encoding);
-* the hybrid bridge against :func:`repro.core.solver.solve_csc` on the
-  solvable cases — identical materialized graphs, identical
-  ``EncodingResult`` fingerprints;
 * hypothesis-generated STGs from the parametric generator families
   (including the new coupled ``pipeline`` family).
+
+The hybrid bridge's *solver* identity (materialized core solved to the
+same ``EncodingResult`` fingerprint as the explicit pipeline) is pinned
+by the cross-engine harness in ``tests/test_conformance.py``.
 """
 
 from __future__ import annotations
-
-import json
 
 import pytest
 from hypothesis import HealthCheck, given, settings as hsettings, strategies as st
@@ -33,20 +32,12 @@ from repro.bench_stg import generators as gen
 from repro.bench_stg.library import TABLE1_CASES, TABLE2_CASES
 from repro.core.csc import csc_conflicts_from_scratch, has_csc, usc_conflicts
 from repro.core.excitation import excitation_set, switching_set
-from repro.core.solver import solve_csc
 from repro.engine import use_caches
 from repro.stg import build_state_graph
-from repro.symbolic import (
-    SymbolicStateGraph,
-    detect_csc_conflicts,
-    symbolic_encode,
-)
+from repro.symbolic import SymbolicStateGraph, detect_csc_conflicts
 
 ENUMERABLE = [case for case in TABLE2_CASES + TABLE1_CASES if case.explicit_ok]
 _ENUM_IDS = [f"{i:02d}-{case.name}" for i, case in enumerate(ENUMERABLE)]
-
-SOLVABLE = [case for case in ENUMERABLE if case.solve]
-_SOLVE_IDS = [f"{i:02d}-{case.name}" for i, case in enumerate(SOLVABLE)]
 
 # cases small enough for exhaustive state-by-state comparisons
 _EXHAUSTIVE_LIMIT = 1200
@@ -101,32 +92,6 @@ def test_er_sr_sets_match_explicit(case):
         symbolic_sr = {m for m, _code in ssg.states_of(ssg.sr_set(event))}
         assert symbolic_er == set(explicit_er), f"ER({event}) diverged"
         assert symbolic_sr == set(explicit_sr), f"SR({event}) diverged"
-
-
-@pytest.mark.parametrize("case", SOLVABLE, ids=_SOLVE_IDS)
-def test_hybrid_bridge_matches_explicit_solver(case):
-    settings = case.solver_settings()
-    explicit_sg = build_state_graph(case.build(), max_states=200000)
-    explicit = solve_csc(explicit_sg, settings)
-
-    outcome = symbolic_encode(
-        case.build(), settings=case.solver_settings(), core_budget=10000
-    )
-    if explicit.num_inserted == 0 and explicit.solved:
-        # no conflicts: the symbolic tier never materializes anything
-        assert outcome.mode == "symbolic"
-        assert outcome.solved
-        return
-    assert outcome.mode == "hybrid"
-    # the materialized core is the explicit graph, object for object
-    materialized = outcome.result.initial_sg
-    assert materialized.states == explicit_sg.states
-    assert materialized.encoding == explicit_sg.encoding
-    # and the solver's outcome is byte-identical
-    assert outcome.result.fingerprint() == explicit.fingerprint()
-    assert json.dumps(
-        outcome.result.fingerprint(), sort_keys=True, default=repr
-    ) == json.dumps(explicit.fingerprint(), sort_keys=True, default=repr)
 
 
 # ----------------------------------------------------------------------
