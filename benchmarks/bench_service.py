@@ -27,9 +27,9 @@ import threading
 import time
 import urllib.request
 
+from repro.api import serve
 from repro.engine.batch import select_smallest_cases, suite_cases
 from repro.service import EncodingService
-from repro.service.http import serve
 
 RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
 SMALLEST = 6

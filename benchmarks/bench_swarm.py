@@ -1,0 +1,233 @@
+"""Swarm benchmark: hundreds of concurrent clients against the /v1 API.
+
+Boots the full service (asyncio front + durable queue + content-addressed
+store) and fires ``CLIENTS`` concurrent :class:`repro.api.ServiceClient`
+threads at it, each submitting one job from a deterministic mixed
+workload — cold explicit encodings, warm repeats of pre-seeded results,
+and symbolic-engine jobs — then following the job's event feed to the
+result.  The swarm runs twice, with a 1-worker pool and an N-worker
+pool, against fresh stores.
+
+What the swarm proves (and the regression gate enforces):
+
+* **Coalescing under load** — 200 requests spanning only a handful of
+  distinct fingerprints must trigger exactly one solve per fingerprint;
+  every other request coalesces onto the live job or hits the store.
+* **Warm requests stay cheap** — pre-seeded submissions must answer
+  ``cached=true`` even while cold solves are saturating the workers.
+* **The async front scales** — hundreds of concurrent long-polls are
+  held on the event loop, not on threads, so p95 latency stays bounded
+  by solve time, not by connection handling.
+
+The record written to ``BENCH_swarm.json`` carries a frozen-code
+yardstick (the same distinct encodings run serially through
+:func:`repro.engine.batch.encode_many`) so CI can separate machine speed
+from code regressions — see ``check_bench_regression.py --suite swarm``.
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_swarm.py``)
+or through pytest (``pytest benchmarks/bench_swarm.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api import ServiceClient, serve
+from repro.engine.batch import encode_many, select_smallest_cases, suite_cases
+from repro.service import EncodingService
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_swarm.json"
+
+#: Concurrent client threads (each submits and follows one job).
+CLIENTS = 200
+#: Distinct explicit-engine cases (the smallest of Table 2).
+EXPLICIT = 4
+#: How many of those are pre-seeded so the swarm contains true warm hits.
+WARM = 2
+#: How many get a symbolic-engine twin (distinct fingerprint, same STG).
+SYMBOLIC = 2
+#: Worker-pool widths for the two runs (the N side is at least 2 so the
+#: comparison stays meaningful on single-core CI runners).
+MULTI_WORKERS = max(2, min(4, os.cpu_count() or 1))
+CLIENT_TIMEOUT = 300.0
+SHUFFLE_SEED = 20260808
+
+
+def _workload(cases):
+    """The deterministic request mix, one body per client."""
+    bodies = []
+    for index in range(CLIENTS):
+        case = cases[index % len(cases)]
+        kind = index % 3
+        if kind == 0 and case.name in {c.name for c in cases[:WARM]}:
+            bodies.append({"benchmark": case.name, "kind": "warm"})
+        elif kind == 1 and case.name in {c.name for c in cases[:SYMBOLIC]}:
+            bodies.append({"benchmark": case.name, "engine": "symbolic", "kind": "mixed"})
+        else:
+            bodies.append({"benchmark": case.name, "kind": "cold"})
+    random.Random(SHUFFLE_SEED).shuffle(bodies)
+    return bodies
+
+
+def _one_client(base: str, body: dict) -> dict:
+    """Submit one job and follow it to a result; returns the observation."""
+    client = ServiceClient(base, timeout=60.0)
+    started = time.monotonic()
+    outcome = client.submit_benchmark(
+        body["benchmark"], engine=body.get("engine")
+    )
+    result = client.wait(outcome, timeout=CLIENT_TIMEOUT)
+    return {
+        "kind": body["kind"],
+        "cached": bool(outcome["cached"]),
+        "job_id": outcome["job_id"],
+        "fingerprint": outcome["fingerprint"],
+        "status": result.get("status"),
+        "solved": result["solved"],
+        "seconds": time.monotonic() - started,
+    }
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def _swarm_run(workers: int, cases, bodies) -> dict:
+    """One full swarm against a fresh service with ``workers`` pool width."""
+    with tempfile.TemporaryDirectory(prefix="pyetrify-swarm-") as tmp:
+        with EncodingService(f"{tmp}/service.db", jobs=workers) as service:
+            server = serve(service, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{server.port}"
+            try:
+                # seed the warm set so the swarm contains genuine cache hits
+                for case in cases[:WARM]:
+                    seeded = service.submit_benchmark(case.name)
+                    service.wait(seeded["fingerprint"], timeout=CLIENT_TIMEOUT)
+                started = time.monotonic()
+                with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                    observations = list(
+                        pool.map(lambda body: _one_client(base, body), bodies)
+                    )
+                wall = time.monotonic() - started
+                stats = service.stats()
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    latencies = [obs["seconds"] for obs in observations]
+    enqueued = [obs for obs in observations if not obs["cached"]]
+    distinct_jobs = {obs["job_id"] for obs in enqueued}
+    # every client got a completed payload; solvedness varies by case
+    # (not every library case solves), but must agree per fingerprint
+    assert all(obs["status"] == "ok" for obs in observations)
+    by_fingerprint = {}
+    for obs in observations:
+        by_fingerprint.setdefault(obs["fingerprint"], set()).add(obs["solved"])
+    assert all(len(verdicts) == 1 for verdicts in by_fingerprint.values())
+    assert all(obs["cached"] for obs in observations if obs["kind"] == "warm")
+    return {
+        "workers": workers,
+        "requests": len(observations),
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(len(observations) / wall, 3) if wall else None,
+        "p50_seconds": round(_percentile(latencies, 0.50), 3),
+        "p95_seconds": round(_percentile(latencies, 0.95), 3),
+        "cached_requests": sum(1 for obs in observations if obs["cached"]),
+        "coalesced_requests": len(enqueued) - len(distinct_jobs),
+        "distinct_jobs": len(distinct_jobs),
+        "solves_done": stats["queue"]["by_status"].get("done", 0),
+        "distinct_fingerprints": len({obs["fingerprint"] for obs in observations}),
+    }
+
+
+def _yardstick_seconds(cases) -> float:
+    """Frozen-code machine-speed yardstick: the swarm's distinct encodings
+    run serially through the batch engine (no service, no HTTP)."""
+    started = time.monotonic()
+    explicit = [case.build() for case in cases]
+    encode_many(
+        explicit,
+        settings=[case.solver_settings() for case in cases],
+        jobs=1,
+        max_states=200000,
+    )
+    symbolic = [case.build() for case in cases[:SYMBOLIC]]
+    encode_many(
+        symbolic,
+        settings=[case.solver_settings() for case in cases[:SYMBOLIC]],
+        jobs=1,
+        max_states=200000,
+        engine="symbolic",
+    )
+    return time.monotonic() - started
+
+
+def run_swarm_benchmark(record_path: pathlib.Path = RECORD_PATH) -> dict:
+    """Run the 1-worker and N-worker swarms, write and return the record."""
+    cases = select_smallest_cases(suite_cases("table2"), EXPLICIT)
+    bodies = _workload(cases)
+    yardstick = _yardstick_seconds(cases)
+    single = _swarm_run(1, cases, bodies)
+    multi = _swarm_run(MULTI_WORKERS, cases, bodies)
+
+    record = {
+        "benchmark": "bench_swarm",
+        "clients": CLIENTS,
+        "cases": [case.name for case in cases],
+        "warm_cases": [case.name for case in cases[:WARM]],
+        "symbolic_cases": [case.name for case in cases[:SYMBOLIC]],
+        "mix": {
+            kind: sum(1 for body in bodies if body["kind"] == kind)
+            for kind in ("cold", "warm", "mixed")
+        },
+        "yardstick_seconds": round(yardstick, 3),
+        "single": single,
+        "multi": multi,
+        "multi_workers": MULTI_WORKERS,
+        "speedup": round(single["wall_seconds"] / multi["wall_seconds"], 3)
+        if multi["wall_seconds"]
+        else None,
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_swarm_coalescing(report_sink):
+    """200 concurrent clients must trigger exactly one solve per distinct
+    fingerprint, with warm submissions answering from the store."""
+    record = run_swarm_benchmark()
+    report_sink.setdefault("Service swarm: 200 clients, 1 vs N workers", []).append(
+        {
+            "clients": record["clients"],
+            "single_s": record["single"]["wall_seconds"],
+            "multi_s": record["multi"]["wall_seconds"],
+            "p95_multi_s": record["multi"]["p95_seconds"],
+            "coalesced": record["multi"]["coalesced_requests"],
+        }
+    )
+    for run in (record["single"], record["multi"]):
+        # dedupe is exact: solves == distinct jobs, never one per request
+        assert run["solves_done"] == run["distinct_jobs"] + WARM
+        assert run["distinct_jobs"] <= EXPLICIT + SYMBOLIC
+        assert run["cached_requests"] > 0
+        assert run["coalesced_requests"] > 0
+
+
+if __name__ == "__main__":
+    outcome = run_swarm_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    ok = all(
+        outcome[run]["solves_done"] == outcome[run]["distinct_jobs"] + WARM
+        for run in ("single", "multi")
+    )
+    sys.exit(0 if ok else 1)

@@ -1,6 +1,6 @@
 """Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Three suites, selected by ``--suite``:
+Four suites, selected by ``--suite``:
 
 ``table2`` (default)
     Runs the full Table-2 sweep three ways via
@@ -27,6 +27,16 @@ Three suites, selected by ``--suite``:
     the *search serial* wall-clock — so the generate/evaluate/merge
     restructure of the Figure-4 search can never quietly slow the
     serial path down.
+
+``swarm``
+    Runs the concurrent-client service sweep via
+    :func:`benchmarks.bench_swarm.run_swarm_benchmark` (refreshing
+    ``BENCH_swarm.json``): hundreds of clients against the ``/v1`` API,
+    1 vs N workers.  Before gating wall-clock it enforces the dedupe
+    invariants exactly — one solve per distinct enqueued fingerprint
+    (plus the warm seeds), a non-zero cache-hit and coalescing count,
+    and a stable fingerprint universe — because a coalescing bug shows
+    up as *work*, not necessarily as time, on a fast machine.
 
 Raw wall-clock comparisons across CI runners would gate on machine
 speed, not on code.  Each suite therefore carries its own frozen-code
@@ -60,6 +70,11 @@ from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
 from bench_parallel_search import (  # noqa: E402
     RECORD_PATH as SEARCH_RECORD_PATH,
     run_search_benchmark,
+)
+from bench_swarm import (  # noqa: E402
+    RECORD_PATH as SWARM_RECORD_PATH,
+    WARM as SWARM_WARM_SEEDS,
+    run_swarm_benchmark,
 )
 from bench_table1_large_stgs import (  # noqa: E402
     RECORD_PATH as TABLE1_RECORD_PATH,
@@ -216,11 +231,61 @@ def check_search(baseline_path: pathlib.Path, tolerance: float) -> int:
     return 0
 
 
+def check_swarm(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_swarm_benchmark()
+
+    drifted = False
+    for run_name in ("single", "multi"):
+        run = record[run_name]
+        # the dedupe invariant is exact: one solve per distinct enqueued
+        # fingerprint plus the warm seeds, never one per request
+        expected_solves = run["distinct_jobs"] + SWARM_WARM_SEEDS
+        if run["solves_done"] != expected_solves:
+            print(
+                f"FAIL: {run_name} swarm ran {run['solves_done']} solves for "
+                f"{run['distinct_jobs']} distinct jobs (+{SWARM_WARM_SEEDS} seeds) "
+                f"— coalescing or dedupe is broken"
+            )
+            drifted = True
+        if run["distinct_fingerprints"] != baseline[run_name]["distinct_fingerprints"]:
+            print(
+                f"FAIL: {run_name} swarm covers "
+                f"{run['distinct_fingerprints']} fingerprints, baseline had "
+                f"{baseline[run_name]['distinct_fingerprints']} — workload drift"
+            )
+            drifted = True
+        if run["cached_requests"] == 0 or run["coalesced_requests"] == 0:
+            print(f"FAIL: {run_name} swarm exercised no cache hits or no coalescing")
+            drifted = True
+    if drifted:
+        return 1
+
+    ok = _gate(
+        "swarm wall (N workers)",
+        float(baseline["yardstick_seconds"]),
+        float(record["yardstick_seconds"]),
+        float(baseline["multi"]["wall_seconds"]),
+        float(record["multi"]["wall_seconds"]),
+        tolerance,
+    )
+    print(
+        f"{record['clients']} clients: p95 {record['multi']['p95_seconds']}s, "
+        f"{record['multi']['coalesced_requests']} coalesced, "
+        f"{record['multi']['cached_requests']} cached; "
+        f"refreshed {SWARM_RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=["table2", "table1", "search"],
+        choices=["table2", "table1", "search", "swarm"],
         default="table2",
         help="which sweep to gate (default: the Table-2 engine sweep)",
     )
@@ -246,6 +311,9 @@ def main(argv=None) -> int:
     if args.suite == "search":
         baseline_path = args.baseline or SEARCH_RECORD_PATH
         return check_search(baseline_path, args.tolerance)
+    if args.suite == "swarm":
+        baseline_path = args.baseline or SWARM_RECORD_PATH
+        return check_swarm(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
     return check_table2(baseline_path, args.tolerance)
 

@@ -19,13 +19,15 @@ the recompute-everything behaviour.
 
 For long-running deployments, :class:`EncodingService`
 (:mod:`repro.service`) layers a durable job queue, a content-addressed
-persistent result store and a worker pool over ``encode_many``; the HTTP
-front end in :mod:`repro.service.http` (``pyetrify serve``) exposes it
-over the network.
+persistent result store, multi-tenancy and worker processes over
+``encode_many``; :func:`serve` exposes it over the network as the
+versioned ``/v1`` HTTP API (``pyetrify serve``) and :func:`connect`
+returns a client for a running instance.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -41,22 +43,63 @@ from repro.utils.timing import Stopwatch
 __all__ = [
     "EncodingReport",
     "EncodingService",
+    "ServiceClient",
     "analyze_stg",
     "encode_stg",
     "encode_many",
+    "serve",
+    "connect",
     "BatchItem",
     "BatchResult",
 ]
 
+#: Old attribute names kept as deprecated aliases of their successors.
+_RENAMED = {
+    "serve_http": "serve",
+}
+
 
 def __getattr__(name: str):
-    # Lazy: the service tier pulls in sqlite3/http plumbing that plain
-    # library users of encode_stg/encode_many never need.
+    # Lazy: the service tier pulls in sqlite3/asyncio plumbing that
+    # plain library users of encode_stg/encode_many never need.
     if name == "EncodingService":
         from repro.service import EncodingService
 
         return EncodingService
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    if name in _RENAMED:
+        successor = _RENAMED[name]
+        warnings.warn(
+            f"repro.api.{name} was renamed to repro.api.{successor}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[successor]
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def serve(service, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False):
+    """Bind the ``/v1`` HTTP front for an :class:`EncodingService`.
+
+    Returns the bound-but-not-serving server (port ``0`` picks an
+    ephemeral one, final in ``.port``); call ``serve_forever()`` — or
+    drive it from a thread — and stop it with ``shutdown()`` +
+    ``server_close()``.  The stable home of what used to live at
+    :func:`repro.service.http.serve`.
+    """
+    from repro.service.asgi import serve_asgi
+
+    return serve_asgi(service, host=host, port=port, verbose=verbose)
+
+
+def connect(base_url: str, api_key: Optional[str] = None, timeout: float = 30.0):
+    """A :class:`~repro.service.client.ServiceClient` for a running service."""
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(base_url, api_key=api_key, timeout=timeout)
 
 
 @dataclass

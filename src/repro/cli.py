@@ -14,9 +14,15 @@ service and symbolic tiers grown on top of it:
   and witness cubes via the code-equality relation, again without
   enumeration;
 * ``bench NAME``   — run a named benchmark from the built-in library;
-* ``serve``        — run the encoding service: a durable job queue, a
-  content-addressed result store and a JSON HTTP API over the batch
-  engine (``pyetrify serve --port 8080 --jobs 4 --store service.db``).
+* ``serve``        — run the encoding service front: a durable job
+  queue, a content-addressed result store and the versioned ``/v1``
+  JSON HTTP API over the batch engine
+  (``pyetrify serve --port 8080 --jobs 4 --store service.db``);
+* ``worker``       — attach an independent worker process to a service
+  backend and drain its queue (``pyetrify worker --store service.db
+  --jobs 2``); run N of them against one store to scale out;
+* ``admin``        — manage the service's tenants/API keys
+  (``pyetrify admin create-key alice --store service.db``).
 
 ``bench --all`` runs the whole library as a batch through the encoding
 engine: ``--jobs N`` encodes N benchmarks concurrently in worker
@@ -234,14 +240,18 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the encoding service (``pyetrify serve``).
+    """Run the encoding service front (``pyetrify serve``).
 
-    Boots :class:`repro.service.EncodingService` on the sqlite store at
-    ``--store`` (jobs and results survive restarts) and serves the JSON
-    HTTP API of :mod:`repro.service.http` until interrupted.
+    Boots :class:`repro.service.EncodingService` on the backend at
+    ``--store`` (jobs and results survive restarts) and serves the
+    versioned ``/v1`` JSON HTTP API of :mod:`repro.service.asgi` until
+    interrupted.  With ``--no-workers`` the front only accepts and
+    serves jobs; start ``pyetrify worker`` processes against the same
+    store to drain the queue (front first — it recovers interrupted
+    jobs at boot).
     """
+    from repro.api import serve as bind_server
     from repro.service import EncodingService
-    from repro.service.http import serve as bind_server
 
     service = EncodingService(
         args.store,
@@ -249,6 +259,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         max_entries=args.max_entries,
         search_jobs=args.search_jobs,
+        max_backlog=args.max_backlog,
+        autostart=not args.no_workers,
     )
     try:
         server = bind_server(service, host=args.host, port=args.port, verbose=args.verbose)
@@ -258,7 +270,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     host, port = server.server_address[:2]
     print(f"pyetrify service listening on http://{host}:{port} (store: {args.store})")
-    print("endpoints: POST /jobs, GET /jobs/{id}, GET /results/{fp}, GET /healthz, GET /stats")
+    print(
+        "endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events, "
+        "GET /v1/results/{fp}, GET /v1/healthz, GET /v1/stats"
+    )
+    if args.no_workers:
+        print("workers: none in-process; attach `pyetrify worker --store ...` processes")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -267,6 +284,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Attach a worker process to a service backend (``pyetrify worker``).
+
+    Opens its own connections to the shared store/queue (content-addressed
+    fingerprints make results location-independent, so any worker can run
+    any job) and drains the queue until interrupted.  Deliberately does
+    *not* recover ``running`` jobs at startup — that is the front's
+    boot-time action; a late-joining worker must not steal jobs that
+    sibling processes are still executing.
+    """
+    import time as _time
+
+    from repro.service import EncodingService
+
+    service = EncodingService(
+        args.store,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        search_jobs=args.search_jobs,
+        recover=False,
+    )
+    print(
+        f"pyetrify worker {service.pool.name} draining {args.store} "
+        f"(jobs={args.jobs})"
+    )
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nworker stopping")
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    """Manage the service's tenants and API keys (``pyetrify admin``).
+
+    Works directly on the backend file, so the very first (admin) key of
+    a deployment can be provisioned without any key to authenticate with
+    — filesystem access to the store is the root credential.
+    """
+    from repro.service import open_backend
+
+    registry = open_backend(args.store).open_tenants()
+    try:
+        if args.admin_command == "create-key":
+            try:
+                created = registry.provision(
+                    args.name,
+                    admin=args.admin,
+                    quota_active_jobs=args.quota,
+                    rate_per_second=args.rate,
+                    burst=args.burst,
+                )
+            except KeyError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return 2
+            tenant = created["tenant"]
+            print(f"tenant   : {tenant['name']} (admin={tenant['admin']})")
+            print(f"quota    : {tenant['quota_active_jobs']}")
+            print(f"rate     : {tenant['rate_per_second']} (burst {tenant['burst']})")
+            print(f"api key  : {created['api_key']}")
+            print("store this key now — it is shown once and only its hash is kept")
+            return 0
+        if args.admin_command == "list-keys":
+            tenants = registry.list_tenants()
+            if not tenants:
+                print("no tenants provisioned (service runs in open mode)")
+                return 0
+            for tenant in tenants:
+                flags = " admin" if tenant["admin"] else ""
+                print(
+                    f"{tenant['name']}{flags} quota={tenant['quota_active_jobs']} "
+                    f"rate={tenant['rate_per_second']}"
+                )
+            return 0
+        if args.admin_command == "revoke-key":
+            if registry.revoke(args.name):
+                print(f"revoked {args.name}")
+                return 0
+            print(f"error: no tenant named {args.name!r}", file=sys.stderr)
+            return 2
+        print("error: unknown admin command", file=sys.stderr)
+        return 2
+    finally:
+        registry.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,8 +452,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
     serve.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width for jobs that do not request one (clamped so --jobs x N fits the machine)")
     serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
+    serve.add_argument("--max-backlog", type=int, default=None, metavar="N", help="reject submissions with 503 when N jobs are already pending (default unbounded)")
+    serve.add_argument("--no-workers", action="store_true", help="serve the API only; drain the queue with separate `pyetrify worker` processes")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     serve.set_defaults(handler=_cmd_serve)
+
+    worker = subparsers.add_parser("worker", help="attach a worker process to a service backend and drain its queue")
+    worker.add_argument("--store", default="pyetrify-service.db", metavar="PATH", help="backend shared with the serving front")
+    worker.add_argument("--jobs", type=int, default=1, help="concurrent encodings in this worker process")
+    worker.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
+    worker.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width (clamped against --jobs)")
+    worker.set_defaults(handler=_cmd_worker)
+
+    admin = subparsers.add_parser("admin", help="manage service tenants and API keys (direct backend access)")
+    admin.add_argument("--store", default="pyetrify-service.db", metavar="PATH", help="service backend to administer")
+    admin_sub = admin.add_subparsers(dest="admin_command", required=True)
+    create_key = admin_sub.add_parser("create-key", help="provision a tenant; prints its one-time API key")
+    create_key.add_argument("name", help="tenant name (unique)")
+    create_key.add_argument("--admin", action="store_true", help="grant access to /v1/admin endpoints")
+    create_key.add_argument("--quota", type=int, default=None, metavar="N", help="max concurrently active (pending+running) jobs")
+    create_key.add_argument("--rate", type=float, default=None, metavar="R", help="sustained submissions per second (token bucket)")
+    create_key.add_argument("--burst", type=int, default=None, metavar="N", help="token-bucket burst capacity (default: one second's worth)")
+    list_keys = admin_sub.add_parser("list-keys", help="list provisioned tenants (never shows keys)")
+    revoke = admin_sub.add_parser("revoke-key", help="delete a tenant's key")
+    revoke.add_argument("name")
+    # accept --store after the subcommand too (`admin create-key x --store db`);
+    # SUPPRESS keeps the subcommand from clobbering a value parsed by the parent
+    for sub in (create_key, list_keys, revoke):
+        sub.add_argument("--store", default=argparse.SUPPRESS, metavar="PATH", help=argparse.SUPPRESS)
+    admin.set_defaults(handler=_cmd_admin)
     return parser
 
 

@@ -1,19 +1,29 @@
 """The encoding service: jobs, content-addressed results, HTTP API.
 
-This package turns the batch engine into a long-running service tier:
+This package turns the batch engine into a distributed service tier:
 
 * :mod:`repro.service.fingerprint` — canonical content-addressing of
   ``(STG, SolverSettings, max_states)`` requests, so identical
   submissions dedupe to one stored result;
-* :mod:`repro.service.store` — a persistent sqlite result store with
-  hit/miss/evict accounting, keyed by fingerprint, surviving restarts;
+* :mod:`repro.service.backend` — the queue/store backend abstraction
+  (sqlite by default; Redis/Postgres drivers can register their URL
+  scheme), handing out connection-per-component durable state;
+* :mod:`repro.service.store` — a persistent result store with
+  hit/miss/evict accounting, keyed by fingerprint, multi-process safe;
 * :mod:`repro.service.queue` — a durable FIFO job queue with
-  pending/running/done/failed/timeout states and retry-once semantics;
+  pending/running/done/failed/timeout states, retry-once semantics,
+  atomic cross-process claims and a durable per-job event feed;
 * :mod:`repro.service.workers` — a worker pool draining the queue
   through :func:`repro.engine.batch.encode_many` under per-job
-  wall-clock timeouts;
-* :mod:`repro.service.http` — a stdlib JSON HTTP API over all of it
-  (``pyetrify serve``).
+  wall-clock timeouts; N independent ``pyetrify worker`` processes can
+  attach to the same backend;
+* :mod:`repro.service.tenants` — API keys, per-tenant quotas, rate
+  limits and accounting;
+* :mod:`repro.service.asgi` — the async ASGI front serving the
+  versioned ``/v1`` JSON API (SSE job-event streams included) plus the
+  deprecated legacy aliases (``pyetrify serve``);
+* :mod:`repro.service.client` — a stdlib client for that API
+  (:func:`repro.api.connect`).
 
 :class:`EncodingService` is the facade gluing the layers together; it is
 re-exported as :class:`repro.api.EncodingService`.
@@ -28,7 +38,7 @@ Typical in-process use::
         payload = svc.wait(outcome["fingerprint"], timeout=60)
         print(payload["summary"]["inserted"])
 
-Everything is stdlib-only (sqlite3, http.server, threading); there is no
+Everything is stdlib-only (sqlite3, asyncio, threading); there is no
 new dependency.
 """
 
@@ -36,27 +46,38 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.solver import ENGINES, SolverSettings
+from repro.service.backend import ServiceBackend, SqliteBackend, open_backend
 from repro.service.fingerprint import (
     canonical_request,
     canonical_settings,
     request_fingerprint,
     settings_from_dict,
 )
-from repro.service.queue import FINAL_STATUSES, JobQueue, JobRecord
+from repro.service.queue import FINAL_STATUSES, JobEvent, JobQueue, JobRecord
 from repro.service.store import ResultStore
+from repro.service.tenants import Tenant, TenantRegistry
 from repro.service.workers import WorkerPool
 from repro.stg.stg import STG
 from repro.stg.writer import stg_to_g_text
 
 __all__ = [
+    "BacklogFull",
     "EncodingService",
+    "FingerprintMismatch",
+    "QuotaExceeded",
     "ResultStore",
     "JobQueue",
     "JobRecord",
+    "JobEvent",
     "WorkerPool",
+    "ServiceBackend",
+    "SqliteBackend",
+    "Tenant",
+    "TenantRegistry",
+    "open_backend",
     "canonical_request",
     "canonical_settings",
     "request_fingerprint",
@@ -64,15 +85,67 @@ __all__ = [
 ]
 
 
+class BacklogFull(Exception):
+    """The pending queue is at ``max_backlog``; submission refused.
+
+    Raised by :meth:`EncodingService.submit` only for submissions that
+    would *enqueue new work* — cached results and coalescing duplicates
+    of already-queued jobs always go through.  The HTTP layer maps this
+    to ``503 Service Unavailable`` with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, max_backlog: int) -> None:
+        super().__init__(
+            f"job backlog is full ({max_backlog} pending); retry shortly"
+        )
+        self.max_backlog = max_backlog
+
+
+class QuotaExceeded(Exception):
+    """A tenant is at its ``quota_active_jobs`` cap; submission refused.
+
+    Like :class:`BacklogFull`, this only refuses submissions that would
+    *enqueue new work*: cached results and coalescing duplicates of the
+    tenant's own active jobs add no load and always go through.  The
+    HTTP layer maps this to ``429`` with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, tenant: str, active: int, quota: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} has {active} active jobs (quota {quota}); "
+            "wait for them to finish"
+        )
+        self.tenant = tenant
+        self.active = active
+        self.quota = quota
+
+
+class FingerprintMismatch(Exception):
+    """A client-asserted fingerprint disagrees with the computed one.
+
+    Raised by :meth:`EncodingService.submit` when the caller pins the
+    expected content address of a request and the submitted content
+    hashes elsewhere — the HTTP layer maps this to ``409 Conflict``.
+    """
+
+    def __init__(self, asserted: str, computed: str) -> None:
+        super().__init__(
+            "request fingerprint mismatch: the submitted content hashes to "
+            f"{computed[:12]}…, not the asserted {asserted[:12]}…"
+        )
+        self.detail = {"asserted": asserted, "computed": computed}
+
+
 class EncodingService:
-    """Facade over store + queue + worker pool (one sqlite file for all).
+    """Facade over backend + store + queue + tenants + worker pool.
 
     Parameters
     ----------
     store_path:
-        Path of the sqlite database holding both the ``results`` and the
-        ``jobs`` tables.  Reopening the same path after a restart serves
-        previously stored results and recovers interrupted jobs.
+        Backend URL or bare sqlite path of the durable state (results,
+        jobs, events, tenants — see :func:`repro.service.backend.open_backend`).
+        Reopening the same backend after a restart serves previously
+        stored results and recovers interrupted jobs.
     jobs:
         Worker-pool width (see :class:`repro.service.workers.WorkerPool`).
     timeout:
@@ -85,9 +158,20 @@ class EncodingService:
         request a width themselves; always budget-clamped against
         ``jobs`` (see :class:`repro.service.workers.WorkerPool`).
         Fingerprint-irrelevant, so it never splits the result store.
+    max_backlog:
+        Optional bound on the pending queue depth; the HTTP front
+        answers 503 to submissions beyond it (``None`` = unbounded).
     autostart:
-        Start the worker pool immediately (default).  Pass ``False`` to
-        inspect queue contents without draining them.
+        Start the in-process worker pool immediately (default).  Pass
+        ``False`` for a front that only accepts/serves jobs while
+        independent ``pyetrify worker`` processes drain the shared
+        queue (``pyetrify serve --no-workers``), or to inspect queue
+        contents without draining them.
+    recover:
+        Re-queue jobs left ``running`` by a dead process (default).
+        Worker processes attach with ``recover=False`` — recovery is a
+        boot-time action of the front, which starts first; a late
+        worker recovering would steal live jobs from its siblings.
     """
 
     def __init__(
@@ -99,10 +183,15 @@ class EncodingService:
         poll_interval: float = 0.05,
         autostart: bool = True,
         search_jobs: Optional[int] = None,
+        max_backlog: Optional[int] = None,
+        recover: bool = True,
     ) -> None:
-        self.store = ResultStore(store_path, max_entries=max_entries)
-        self.queue = JobQueue(store_path)
-        self.recovered_jobs = self.queue.recover()
+        self.backend = open_backend(store_path)
+        self.store = self.backend.open_store(max_entries=max_entries)
+        self.queue = self.backend.open_queue()
+        self.tenants = self.backend.open_tenants()
+        self.max_backlog = max_backlog
+        self.recovered_jobs = self.queue.recover() if recover else 0
         self.pool = WorkerPool(
             self.queue,
             self.store,
@@ -123,6 +212,9 @@ class EncodingService:
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
+        tenant: Optional[str] = None,
+        expected_fingerprint: Optional[str] = None,
+        quota_active_jobs: Optional[int] = None,
     ) -> Dict[str, object]:
         """Submit one encoding request; dedupes against the result store.
 
@@ -150,6 +242,16 @@ class EncodingService:
         against the service budget, and deliberately absent from the
         request fingerprint — a sharded solve stores the identical
         payload a serial one would.
+
+        ``tenant`` is the owning tenant's name (``None`` for anonymous
+        traffic): recorded on the job, scoping coalescing and quota
+        accounting to that tenant.  ``expected_fingerprint`` optionally
+        pins the content address the caller expects; a mismatch raises
+        :class:`FingerprintMismatch` (HTTP 409) instead of silently
+        running a different request than the client believes it sent.
+        ``quota_active_jobs`` caps the tenant's concurrent pending+running
+        jobs (:class:`QuotaExceeded` → HTTP 429); cached hits and
+        coalescing duplicates are exempt, like the backlog bound.
         """
         if engine is not None:
             if engine not in ENGINES:
@@ -160,6 +262,8 @@ class EncodingService:
                 f"unknown engine {settings.engine!r}; expected one of {ENGINES}"
             )
         fingerprint = request_fingerprint(stg, settings=settings, max_states=max_states)
+        if expected_fingerprint is not None and expected_fingerprint != fingerprint:
+            raise FingerprintMismatch(expected_fingerprint, fingerprint)
         payload = self.store.get(fingerprint)
         if payload is not None:
             return {
@@ -183,7 +287,24 @@ class EncodingService:
             search_jobs = settings.search_jobs
         if search_jobs is not None:
             request["search_jobs"] = int(search_jobs)
-        job_id = self.queue.submit(fingerprint, stg.name, request)
+        # Quota and backlog bounds only refuse *new* work: a submission
+        # that coalesces onto an already-queued job adds no load, so it
+        # goes through even when the tenant or the queue is at its cap.
+        # (Benign race: a sibling front may enqueue between this check
+        # and queue.submit — both are load shedders, not invariants.)
+        if self.queue.active_job_for(fingerprint, tenant) is None:
+            if quota_active_jobs is not None:
+                active = self.queue.active_count(tenant)
+                if active >= quota_active_jobs:
+                    raise QuotaExceeded(
+                        tenant or "anonymous", active, quota_active_jobs
+                    )
+            if (
+                self.max_backlog is not None
+                and self.queue.depth() >= self.max_backlog
+            ):
+                raise BacklogFull(self.max_backlog)
+        job_id = self.queue.submit(fingerprint, stg.name, request, tenant=tenant)
         return {
             "fingerprint": fingerprint,
             "status": "pending",
@@ -200,6 +321,9 @@ class EncodingService:
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
+        tenant: Optional[str] = None,
+        expected_fingerprint: Optional[str] = None,
+        quota_active_jobs: Optional[int] = None,
     ) -> Dict[str, object]:
         """Submit a named library benchmark.
 
@@ -228,6 +352,9 @@ class EncodingService:
             max_states=max_states,
             engine=engine,
             search_jobs=search_jobs,
+            tenant=tenant,
+            expected_fingerprint=expected_fingerprint,
+            quota_active_jobs=quota_active_jobs,
         )
 
     # -- retrieval ------------------------------------------------------
@@ -237,6 +364,10 @@ class EncodingService:
 
     def job(self, job_id: str) -> Optional[JobRecord]:
         return self.queue.get(job_id)
+
+    def events_for(self, job_id: str, after: int = 0) -> List[JobEvent]:
+        """The durable event feed of one job, strictly after ``after``."""
+        return self.queue.events_for(job_id, after=after)
 
     def wait(self, fingerprint: str, timeout: float = 60.0) -> Dict[str, object]:
         """Block until the result for ``fingerprint`` is stored.
@@ -278,15 +409,31 @@ class EncodingService:
 
         return {
             "version": __version__,
+            "api": "v1",
             "uptime_seconds": round(time.time() - self._started_at, 3),
+            "backend": self.backend.describe(),
             "queue": {
                 "depth": self.queue.depth(),
+                "max_backlog": self.max_backlog,
                 "by_status": self.queue.counts(),
                 "by_engine": self.queue.counts_by_engine(),
             },
             "workers": self.pool.stats(),
             "store": self.store.stats(),
+            "tenancy": {
+                "open_mode": self.tenants.open_mode,
+                "tenants": self.tenants.count(),
+            },
             "recovered_jobs": self.recovered_jobs,
+        }
+
+    def admin_stats(self) -> Dict[str, object]:
+        """The per-tenant breakdown behind ``GET /v1/admin/stats``."""
+        return {
+            "service": self.stats(),
+            "tenants": self.tenants.list_tenants(),
+            "jobs_by_tenant": self.queue.counts_by_tenant(),
+            "counters_by_tenant": self.tenants.counters(),
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -296,6 +443,7 @@ class EncodingService:
             self.pool.stop()
         self.queue.close()
         self.store.close()
+        self.tenants.close()
 
     def __enter__(self) -> "EncodingService":
         return self

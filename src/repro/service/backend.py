@@ -1,0 +1,161 @@
+"""Queue/store backend abstraction for the encoding service.
+
+The service tier talks to its durable state (result store, job queue,
+tenant registry) through a :class:`ServiceBackend`, so the storage
+driver can be swapped without touching the HTTP front, the worker
+processes or the facade.  The default — and currently only — driver is
+:class:`SqliteBackend`: one sqlite file holding every table, opened with
+the pragmas that make *multi-process* access safe (WAL journaling, a
+busy timeout, ``synchronous=NORMAL``).  A Redis or Postgres driver slots
+in by subclassing :class:`ServiceBackend` and registering its URL scheme
+in :data:`BACKENDS`.
+
+Backends are addressed by URL::
+
+    sqlite:///var/lib/pyetrify/service.db
+    service.db                      # bare paths mean sqlite
+
+``open_backend`` parses either form.  Each component (store, queue,
+tenants) gets its **own** database connection — connection-per-worker —
+so N independent worker processes and the HTTP front can share one
+backend file without sharing any in-process state; cross-process
+atomicity comes from ``BEGIN IMMEDIATE`` transactions inside the
+components themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+import sqlite3
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "BACKENDS",
+    "ServiceBackend",
+    "SqliteBackend",
+    "connect_sqlite",
+    "open_backend",
+]
+
+#: Seconds a writer waits on a locked database before failing.  Shared by
+#: every sqlite connection of the service so that concurrent workers
+#: serialise on the store/queue instead of raising ``database is locked``.
+SQLITE_BUSY_TIMEOUT = 30.0
+
+
+def connect_sqlite(path: str) -> sqlite3.Connection:
+    """One service-grade sqlite connection (WAL + busy timeout).
+
+    WAL journaling lets readers proceed while one writer commits — the
+    regime of N worker processes polling one queue file — and the busy
+    timeout (both the driver-level ``timeout`` and the explicit pragma,
+    so it also covers statements issued inside explicit transactions)
+    makes short lock collisions invisible instead of fatal.
+    ``synchronous=NORMAL`` is the documented durable setting for WAL.
+    In-memory databases keep their default journal (WAL needs a file).
+    """
+    conn = sqlite3.connect(path, check_same_thread=False, timeout=SQLITE_BUSY_TIMEOUT)
+    conn.execute(f"PRAGMA busy_timeout = {int(SQLITE_BUSY_TIMEOUT * 1000)}")
+    if path not in (":memory:", ""):
+        try:
+            conn.execute("PRAGMA journal_mode = WAL").fetchone()
+            conn.execute("PRAGMA synchronous = NORMAL")
+        except sqlite3.OperationalError:  # pragma: no cover - exotic filesystems
+            pass  # readonly media / network fs: fall back to the default journal
+    return conn
+
+
+class ServiceBackend(abc.ABC):
+    """Factory for the durable components of one encoding service.
+
+    A backend identifies *where* the shared state lives (one sqlite
+    file, a Redis instance, a Postgres database); its ``open_*`` methods
+    hand out independently usable components, each with its own
+    connection, so the HTTP front and every worker process construct
+    their components from the same backend URL and meet in the shared
+    storage — results are location-independent because they are keyed by
+    content-addressed fingerprints.
+    """
+
+    #: URL scheme this backend answers to (``sqlite`` for the default).
+    scheme: str = ""
+
+    @abc.abstractmethod
+    def open_store(self, max_entries: Optional[int] = None):
+        """A :class:`~repro.service.store.ResultStore` on this backend."""
+
+    @abc.abstractmethod
+    def open_queue(self, max_attempts: int = 2):
+        """A :class:`~repro.service.queue.JobQueue` on this backend."""
+
+    @abc.abstractmethod
+    def open_tenants(self):
+        """A :class:`~repro.service.tenants.TenantRegistry` on this backend."""
+
+    @abc.abstractmethod
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable identity of the backend (for ``/stats``)."""
+
+
+class SqliteBackend(ServiceBackend):
+    """The default driver: every table in one sqlite file.
+
+    Safe for one HTTP front plus N worker processes on the same host (or
+    a shared filesystem that supports POSIX locks): all writes run in
+    ``BEGIN IMMEDIATE`` transactions under the WAL journal, so job
+    claims are atomic across processes and result upserts cannot
+    double-insert.
+    """
+
+    scheme = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def open_store(self, max_entries: Optional[int] = None):
+        from repro.service.store import ResultStore
+
+        return ResultStore(self.path, max_entries=max_entries)
+
+    def open_queue(self, max_attempts: int = 2):
+        from repro.service.queue import JobQueue
+
+        return JobQueue(self.path, max_attempts=max_attempts)
+
+    def open_tenants(self):
+        from repro.service.tenants import TenantRegistry
+
+        return TenantRegistry(self.path)
+
+    def describe(self) -> Dict[str, object]:
+        return {"scheme": self.scheme, "path": self.path}
+
+
+#: Registered drivers by URL scheme.  Redis/Postgres drivers register
+#: here (``BACKENDS["redis"] = RedisBackend``) without any service-tier
+#: code change.
+BACKENDS: Dict[str, Callable[[str], ServiceBackend]] = {
+    "sqlite": SqliteBackend,
+}
+
+
+def open_backend(url: str) -> ServiceBackend:
+    """Resolve a backend URL (or bare sqlite path) to a driver instance.
+
+    ``sqlite:///relative/path`` and ``sqlite:////absolute/path`` follow
+    the usual URL convention; anything without a ``scheme://`` prefix is
+    taken as a bare sqlite path, so every pre-existing call site that
+    passed a filename keeps working.
+    """
+    if "://" not in url:
+        return SqliteBackend(url)
+    scheme, rest = url.split("://", 1)
+    driver = BACKENDS.get(scheme)
+    if driver is None:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend scheme {scheme!r} (known: {known})")
+    if scheme == "sqlite":
+        # sqlite:///foo.db -> foo.db ; sqlite:////var/foo.db -> /var/foo.db
+        rest = rest[1:] if rest.startswith("/") else rest
+        return SqliteBackend(rest or ":memory:")
+    return driver(rest)  # pragma: no cover - no second driver yet

@@ -1,0 +1,87 @@
+"""Job-event streaming helpers: SSE framing and long-poll waits.
+
+The durable feed itself lives in the queue's ``job_events`` table
+(appended atomically with every status transition, readable from any
+process); this module turns that feed into the two wire formats the
+``GET /v1/jobs/{id}/events`` endpoint offers:
+
+* **Server-Sent Events** (``Accept: text/event-stream``): each event row
+  becomes one SSE frame with its queue sequence number as ``id:``, so a
+  dropped connection resumes exactly where it left off via the standard
+  ``Last-Event-ID`` header.  The stream closes itself once a terminal
+  event (``done`` / ``failed`` / ``timeout``) has been sent.
+* **Long-poll JSON** (the fallback for clients without an SSE parser):
+  ``?wait=SECONDS&after=SEQ`` blocks until the feed grows past ``SEQ``
+  (or the wait expires) and returns the new events plus the cursor for
+  the next call — one round-trip per state change instead of
+  tight GET-polling.
+
+Both formats deliver the same rows; :func:`is_terminal_event` defines
+when a job's feed is complete.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import List, Optional
+
+from repro.service.queue import FINAL_STATUSES, JobEvent, JobQueue
+
+__all__ = [
+    "format_sse",
+    "is_terminal_event",
+    "wait_for_events",
+    "SSE_HEADERS",
+]
+
+#: Response headers of an SSE stream (list of pairs, ASGI-style order).
+SSE_HEADERS = [
+    (b"content-type", b"text/event-stream; charset=utf-8"),
+    (b"cache-control", b"no-cache"),
+    (b"x-accel-buffering", b"no"),
+]
+
+
+def is_terminal_event(event: JobEvent) -> bool:
+    """Whether this event ends the job's feed (job reached a final state)."""
+    return event.event in FINAL_STATUSES
+
+
+def format_sse(event: JobEvent) -> bytes:
+    """One ``JobEvent`` as a Server-Sent-Events frame.
+
+    The queue sequence number doubles as the SSE event id, making
+    ``Last-Event-ID`` reconnection line up with the ``after`` cursor of
+    the long-poll API — the two formats share one notion of position.
+    """
+    payload = json.dumps(event.as_dict(), sort_keys=True)
+    return (
+        f"id: {event.seq}\nevent: {event.event}\ndata: {payload}\n\n".encode("utf-8")
+    )
+
+
+def wait_for_events(
+    queue: JobQueue,
+    job_id: str,
+    after: int = 0,
+    wait: float = 0.0,
+    poll_interval: float = 0.05,
+    deadline: Optional[float] = None,
+) -> List[JobEvent]:
+    """Block until the job's feed grows past ``after`` (long-poll body).
+
+    Returns immediately-available events without waiting when there are
+    any; otherwise polls the shared table until something lands or
+    ``wait`` seconds elapse (an empty list then means "no change yet" —
+    the client re-arms with the same cursor).  ``deadline`` overrides the
+    computed wall-clock bound (used by the async front to share one
+    deadline across retries).
+    """
+    if deadline is None:
+        deadline = time.monotonic() + max(0.0, wait)
+    while True:
+        events = queue.events_for(job_id, after=after)
+        if events or time.monotonic() >= deadline:
+            return events
+        time.sleep(poll_interval)

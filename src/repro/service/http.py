@@ -1,227 +1,37 @@
-"""Stdlib JSON HTTP API over :class:`repro.service.EncodingService`.
+"""Deprecated shim over :mod:`repro.service.asgi` (the async front).
 
-Endpoints (all JSON):
+This module used to implement the service's HTTP layer as a
+``ThreadingHTTPServer``.  The implementation moved to
+:mod:`repro.service.asgi` — an ASGI 3 application on a stdlib asyncio
+host, serving the versioned ``/v1`` API with SSE job-event streams —
+and this module now only preserves the old entry points:
 
-``POST /jobs``
-    Submit an encoding request.  Body: either ``{"g": "<.g text>"}`` or
-    ``{"benchmark": "<name>", "table": "table2"}``, optionally with
-    ``"settings"`` (a partial :class:`~repro.core.solver.SolverSettings`
-    dictionary, e.g. ``{"search": {"frontier_width": 16}}``),
-    ``"max_states"``, and ``"engine"`` (``"explicit"`` / ``"symbolic"``
-    / ``"auto"``; shorthand for ``settings.engine`` and, like every
-    settings field, part of the request fingerprint).  Exception:
-    ``settings.search_jobs`` (in-solve sharding width) is accepted but
-    fingerprint-*irrelevant* — a sharded solve is byte-identical to a
-    serial one, so widths must not split the result store; the worker
-    pool caps it against the service budget (jobs × width never exceeds
-    ``max(jobs, cpu_count, server default)``), since request settings
-    are untrusted input.  Answers
-    ``200`` instantly with the embedded result on a store hit, ``202``
-    with a ``job_id`` otherwise.
-``GET /jobs/{id}``
-    Job status; embeds the result once the job is done (polling this
-    endpoint does not skew the store's hit/miss accounting).
-``GET /results/{fingerprint}``
-    The stored payload for a request fingerprint, or ``404``.
-``GET /healthz``
-    Liveness: ``{"ok": true, "version": ...}``.
-``GET /stats``
-    Queue depth, per-status and per-engine job counts, worker
-    utilisation, store hit/miss/evict counters.
+* :func:`serve` — same signature and lifecycle contract as before
+  (returns a bound server; ``serve_forever()`` / ``shutdown()`` /
+  ``server_close()``; ``.port``), now backed by
+  :class:`repro.service.asgi.AsgiHTTPServer`.
+* :class:`ServiceHTTPServer` — alias of that server class.
 
-The server is a :class:`http.server.ThreadingHTTPServer`; handler
-threads only touch the sqlite-backed store/queue (both lock-guarded), so
-no request blocks on encoding work — that happens in the worker pool.
+The unversioned routes these callers relied on (``POST /jobs``,
+``GET /jobs/{id}``, ``GET /results/{fp}``, ``GET /healthz``,
+``GET /stats``) still answer with their original payload shapes, served
+as deprecated aliases by the ASGI app (with a ``Deprecation`` header
+pointing at the ``/v1`` successor).  New code should use
+:func:`repro.api.serve` / :func:`repro.api.connect` and the ``/v1``
+routes; see ``API.md``.
 """
 
 from __future__ import annotations
 
-import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+import warnings
 
-from repro.service import EncodingService, settings_from_dict
-from repro.stg.parser import parse_g
+from repro.service import EncodingService
+from repro.service.asgi import AsgiHTTPServer, serve_asgi
 
 __all__ = ["ServiceHTTPServer", "serve"]
 
-_MAX_BODY_BYTES = 4 * 1024 * 1024
-
-
-class _BadRequest(ValueError):
-    """Client error turned into a 400 response."""
-
-
-class _ServiceHandler(BaseHTTPRequestHandler):
-    server: "ServiceHTTPServer"
-
-    # -- plumbing -------------------------------------------------------
-    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
-        if self.server.verbose:
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
-        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(blob)))
-        self.end_headers()
-        self.wfile.write(blob)
-
-    def _read_json_body(self) -> Dict[str, object]:
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            raise _BadRequest("invalid Content-Length")
-        if length <= 0:
-            raise _BadRequest("request body required")
-        if length > _MAX_BODY_BYTES:
-            raise _BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
-        try:
-            body = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise _BadRequest(f"invalid JSON body: {error}")
-        if not isinstance(body, dict):
-            raise _BadRequest("JSON body must be an object")
-        return body
-
-    # -- routes ---------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        service = self.server.service
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            if path == "/healthz":
-                from repro import __version__
-
-                self._send_json(200, {"ok": True, "version": __version__})
-            elif path == "/stats":
-                self._send_json(200, service.stats())
-            elif path.startswith("/jobs/"):
-                self._get_job(path[len("/jobs/"):])
-            elif path.startswith("/results/"):
-                self._get_result(path[len("/results/"):])
-            else:
-                self._send_json(404, {"error": f"no such endpoint: {path}"})
-        except Exception as error:  # pragma: no cover - defensive catch-all
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/")
-        try:
-            if path == "/jobs":
-                self._post_job()
-            else:
-                self._send_json(404, {"error": f"no such endpoint: {path}"})
-        except _BadRequest as error:
-            self._send_json(400, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - defensive catch-all
-            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
-
-    def _post_job(self) -> None:
-        service = self.server.service
-        body = self._read_json_body()
-        settings = None
-        if body.get("settings") is not None:
-            if not isinstance(body["settings"], dict):
-                raise _BadRequest('"settings" must be an object')
-            try:
-                settings = settings_from_dict(body["settings"])
-            except (TypeError, ValueError) as error:
-                # e.g. {"search": "hello"} or a wrongly-typed field —
-                # client input, not a server fault.
-                raise _BadRequest(f'invalid "settings" object: {error}')
-        max_states = body.get("max_states", 200000)
-        if max_states is not None and not isinstance(max_states, int):
-            raise _BadRequest('"max_states" must be an integer or null')
-        engine = body.get("engine")
-        if engine is not None and not isinstance(engine, str):
-            raise _BadRequest('"engine" must be a string')
-        # The raw field distinguishes an explicit "search_jobs": 1 (a
-        # serial-solve request, respected over the server default) from
-        # an absent one — the parsed SolverSettings cannot, because 1 is
-        # also the dataclass default.
-        search_jobs = None
-        if isinstance(body.get("settings"), dict) and "search_jobs" in body["settings"]:
-            search_jobs = body["settings"]["search_jobs"]
-            if not isinstance(search_jobs, int) or search_jobs < 1:
-                raise _BadRequest('"settings.search_jobs" must be a positive integer')
-
-        if ("g" in body) == ("benchmark" in body):
-            raise _BadRequest('provide exactly one of "g" or "benchmark"')
-        try:
-            if "g" in body:
-                if not isinstance(body["g"], str):
-                    raise _BadRequest('"g" must be a string of .g text')
-                try:
-                    stg = parse_g(body["g"])
-                except Exception as error:
-                    raise _BadRequest(f"cannot parse .g body: {error}")
-                outcome = service.submit(
-                    stg,
-                    settings=settings,
-                    max_states=max_states,
-                    engine=engine,
-                    search_jobs=search_jobs,
-                )
-            else:
-                table = body.get("table", "table2")
-                try:
-                    outcome = service.submit_benchmark(
-                        str(body["benchmark"]),
-                        table=str(table),
-                        settings=settings,
-                        max_states=max_states,
-                        engine=engine,
-                        search_jobs=search_jobs,
-                    )
-                except KeyError as error:
-                    raise _BadRequest(str(error.args[0]) if error.args else str(error))
-        except ValueError as error:  # e.g. an unknown engine name
-            raise _BadRequest(str(error))
-        self._send_json(200 if outcome["cached"] else 202, outcome)
-
-    def _get_job(self, job_id: str) -> None:
-        service = self.server.service
-        job = service.job(job_id)
-        if job is None:
-            self._send_json(404, {"error": f"unknown job id {job_id!r}"})
-            return
-        payload: Dict[str, object] = job.as_dict()
-        if job.status == "done":
-            # peek, not get: polling must not skew the hit/miss counters.
-            payload["result"] = service.store.peek(job.fingerprint)
-            # a done job whose payload is gone was LRU-evicted from a
-            # max_entries-bounded store; tell the client to resubmit
-            # instead of leaving an ambiguous null.
-            payload["result_evicted"] = payload["result"] is None
-        self._send_json(200, payload)
-
-    def _get_result(self, fingerprint: str) -> None:
-        result = self.server.service.result(fingerprint)
-        if result is None:
-            self._send_json(404, {"error": f"no result for fingerprint {fingerprint!r}"})
-            return
-        self._send_json(200, result)
-
-
-class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`EncodingService`."""
-
-    daemon_threads = True
-
-    def __init__(
-        self,
-        address: Tuple[str, int],
-        service: EncodingService,
-        verbose: bool = False,
-    ) -> None:
-        super().__init__(address, _ServiceHandler)
-        self.service = service
-        self.verbose = verbose
-
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
+#: The old name, kept importable; now the asyncio host.
+ServiceHTTPServer = AsgiHTTPServer
 
 
 def serve(
@@ -229,11 +39,17 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
-) -> ServiceHTTPServer:
-    """Bind a :class:`ServiceHTTPServer` (port ``0`` = ephemeral).
+) -> AsgiHTTPServer:
+    """Bind the service's HTTP server (port ``0`` = ephemeral).
 
-    The server is returned bound but not serving; call
-    ``serve_forever()`` (blocking) or drive it from a thread — the tests
-    and :func:`repro.cli.main` do both.
+    Deprecated import location: use :func:`repro.api.serve` (same
+    behaviour, stable home).  The server is returned bound but not
+    serving; call ``serve_forever()`` (blocking) or drive it from a
+    thread — the tests and :func:`repro.cli.main` do both.
     """
-    return ServiceHTTPServer((host, port), service, verbose=verbose)
+    warnings.warn(
+        "repro.service.http.serve is deprecated; use repro.api.serve",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return serve_asgi(service, host=host, port=port, verbose=verbose)

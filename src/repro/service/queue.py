@@ -18,14 +18,30 @@ completion of a job re-queues it (status back to ``pending``, error
 recorded); the second makes the failure final.  Claiming is strictly
 FIFO by submission order.
 
+Multi-process safety: every mutation runs in a ``BEGIN IMMEDIATE``
+transaction on a WAL-journaled connection (see
+:mod:`repro.service.backend`), so N independent worker processes —
+``pyetrify worker`` — can claim from one queue file without ever
+double-claiming a job: the immediate transaction takes the write lock
+*before* the candidate rows are selected, and competitors wait on the
+busy timeout instead of reading a stale pending set.
+
+Every transition is also appended to a ``job_events`` table inside the
+same transaction (atomic with the status change), giving the SSE /
+long-poll endpoints of the HTTP API a durable, cross-process event feed:
+a worker process finishing a job is observed by the front process by
+reading the shared table, no in-memory pubsub required.
+
 Each job carries a self-contained JSON request (``.g`` text, settings
 dictionary, ``max_states``) so it can be re-run after a restart without
 any in-memory state, plus the request fingerprint linking it to the
-result store.
+result store and the tenant that submitted it (``None`` outside
+multi-tenant deployments).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sqlite3
 import threading
@@ -34,7 +50,9 @@ import uuid
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["JobQueue", "JobRecord", "ACTIVE_STATUSES", "FINAL_STATUSES"]
+from repro.service.backend import connect_sqlite
+
+__all__ = ["JobQueue", "JobRecord", "JobEvent", "ACTIVE_STATUSES", "FINAL_STATUSES"]
 
 #: Statuses of jobs still owned by the queue/pool.
 ACTIVE_STATUSES = ("pending", "running")
@@ -57,11 +75,25 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status, seq);
 CREATE INDEX IF NOT EXISTS idx_jobs_fingerprint ON jobs(fingerprint, seq);
+CREATE TABLE IF NOT EXISTS job_events (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id     TEXT NOT NULL,
+    event      TEXT NOT NULL,
+    detail     TEXT,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_job_events_job ON job_events(job_id, seq);
 """
+
+#: Columns added after PR 2; existing databases are migrated in place.
+_MIGRATIONS = (
+    ("jobs", "tenant", "TEXT"),
+    ("jobs", "claimed_by", "TEXT"),
+)
 
 _COLUMNS = (
     "id, fingerprint, name, request, status, attempts, "
-    "submitted_at, started_at, finished_at, error"
+    "submitted_at, started_at, finished_at, error, tenant, claimed_by"
 )
 
 
@@ -79,6 +111,8 @@ class JobRecord:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     error: Optional[str] = None
+    tenant: Optional[str] = None
+    claimed_by: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -91,6 +125,28 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "tenant": self.tenant,
+            "claimed_by": self.claimed_by,
+        }
+
+
+@dataclass
+class JobEvent:
+    """One row of the durable per-job event feed."""
+
+    seq: int
+    job_id: str
+    event: str
+    detail: Optional[str]
+    created_at: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "job_id": self.job_id,
+            "event": self.event,
+            "detail": self.detail,
+            "created_at": self.created_at,
         }
 
 
@@ -106,6 +162,8 @@ def _record(row) -> JobRecord:
         started_at=row[7],
         finished_at=row[8],
         error=row[9],
+        tenant=row[10],
+        claimed_by=row[11],
     )
 
 
@@ -118,44 +176,125 @@ class JobQueue:
         self.path = path
         self.max_attempts = max_attempts
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(path, check_same_thread=False, timeout=30.0)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._conn = connect_sqlite(path)
+        # Explicit transactions only: the implicit autocommit-per-DML of
+        # the default isolation level cannot give cross-process claim
+        # atomicity (the SELECT would run outside the write lock).
+        self._conn.isolation_level = None
+        with self._tx():
+            for statement in _SCHEMA.strip().split(";\n"):
+                if statement.strip():
+                    self._conn.execute(statement)
+            self._migrate()
+
+    def _migrate(self) -> None:
+        """Add columns introduced after the table was first created."""
+        for table, column, decl in _MIGRATIONS:
+            present = {
+                row[1] for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if column not in present:
+                self._conn.execute(f"ALTER TABLE {table} ADD COLUMN {column} {decl}")
+
+    @contextlib.contextmanager
+    def _tx(self):
+        """A ``BEGIN IMMEDIATE`` transaction under the in-process lock.
+
+        IMMEDIATE takes the database write lock up front, so the reads
+        inside (e.g. selecting claimable rows) see a state no concurrent
+        *process* can invalidate before our writes commit; the
+        in-process lock serialises the handler threads of one process on
+        the shared connection.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._conn.execute("COMMIT")
+
+    def _emit(self, job_id: str, event: str, detail: Optional[str] = None) -> None:
+        """Append one event row (call inside an open transaction)."""
+        self._conn.execute(
+            "INSERT INTO job_events(job_id, event, detail, created_at) VALUES(?, ?, ?, ?)",
+            (job_id, event, detail, time.time()),
+        )
 
     # -- submission -----------------------------------------------------
     def submit(
-        self, fingerprint: str, name: str, request: Dict[str, object]
+        self,
+        fingerprint: str,
+        name: str,
+        request: Dict[str, object],
+        tenant: Optional[str] = None,
     ) -> str:
         """Enqueue a job; returns its id.
 
-        Submissions coalesce on the fingerprint: if a job for the same
-        request is already pending or running, its id is returned and no
-        new row is created — concurrent duplicate submissions share one
-        encoding run.
+        Submissions coalesce on ``(fingerprint, tenant)``: if the same
+        tenant already has a pending/running job for the same request,
+        its id is returned and no new row is created — concurrent
+        duplicate submissions share one encoding run.  Different tenants
+        deliberately do *not* coalesce onto each other's active jobs
+        (job visibility is tenant-scoped); they still dedupe through the
+        content-addressed result store the moment the first run lands.
         """
-        with self._lock:
+        with self._tx():
             row = self._conn.execute(
                 f"SELECT {_COLUMNS} FROM jobs "
                 "WHERE fingerprint = ? AND status IN ('pending', 'running') "
+                "AND tenant IS ? "
                 "ORDER BY seq ASC LIMIT 1",
-                (fingerprint,),
+                (fingerprint, tenant),
             ).fetchone()
             if row is not None:
                 return row[0]
             job_id = uuid.uuid4().hex
             self._conn.execute(
-                "INSERT INTO jobs(id, fingerprint, name, request, status, submitted_at) "
-                "VALUES(?, ?, ?, ?, 'pending', ?)",
-                (job_id, fingerprint, name, json.dumps(request, sort_keys=True), time.time()),
+                "INSERT INTO jobs(id, fingerprint, name, request, status, submitted_at, tenant) "
+                "VALUES(?, ?, ?, ?, 'pending', ?, ?)",
+                (
+                    job_id,
+                    fingerprint,
+                    name,
+                    json.dumps(request, sort_keys=True),
+                    time.time(),
+                    tenant,
+                ),
             )
-            self._conn.commit()
+            self._emit(job_id, "pending", "submitted")
             return job_id
 
-    # -- claiming -------------------------------------------------------
-    def claim(self, limit: int = 1) -> List[JobRecord]:
-        """Atomically move up to ``limit`` oldest pending jobs to running."""
-        claimed: List[JobRecord] = []
+    def active_job_for(self, fingerprint: str, tenant: Optional[str] = None) -> Optional[str]:
+        """Id of this tenant's active job for a fingerprint, if any.
+
+        The read-only twin of the coalescing check inside :meth:`submit`,
+        used by the facade to decide whether a submission would coalesce
+        (and therefore must bypass the backlog bound — a duplicate of a
+        queued job adds no load).
+        """
         with self._lock:
+            row = self._conn.execute(
+                "SELECT id FROM jobs "
+                "WHERE fingerprint = ? AND status IN ('pending', 'running') "
+                "AND tenant IS ? ORDER BY seq ASC LIMIT 1",
+                (fingerprint, tenant),
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    # -- claiming -------------------------------------------------------
+    def claim(self, limit: int = 1, worker: Optional[str] = None) -> List[JobRecord]:
+        """Atomically move up to ``limit`` oldest pending jobs to running.
+
+        Safe to call from many processes at once: the IMMEDIATE
+        transaction means exactly one claimer sees any given pending row.
+        ``worker`` is recorded on the claimed rows for observability
+        (which worker process ran which job).
+        """
+        claimed: List[JobRecord] = []
+        with self._tx():
             rows = self._conn.execute(
                 f"SELECT {_COLUMNS} FROM jobs WHERE status = 'pending' "
                 "ORDER BY seq ASC LIMIT ?",
@@ -165,16 +304,16 @@ class JobQueue:
             for row in rows:
                 self._conn.execute(
                     "UPDATE jobs SET status = 'running', attempts = attempts + 1, "
-                    "started_at = ? WHERE id = ?",
-                    (now, row[0]),
+                    "started_at = ?, claimed_by = ? WHERE id = ?",
+                    (now, worker, row[0]),
                 )
+                self._emit(row[0], "running", worker)
                 record = _record(row)
                 record.status = "running"
                 record.attempts += 1
                 record.started_at = now
+                record.claimed_by = worker
                 claimed.append(record)
-            if rows:
-                self._conn.commit()
         return claimed
 
     # -- completion -----------------------------------------------------
@@ -188,7 +327,7 @@ class JobQueue:
         """
         if status not in FINAL_STATUSES:
             raise ValueError(f"finish() takes a final status, got {status!r}")
-        with self._lock:
+        with self._tx():
             row = self._conn.execute(
                 "SELECT attempts, status FROM jobs WHERE id = ?", (job_id,)
             ).fetchone()
@@ -203,37 +342,68 @@ class JobQueue:
                     "UPDATE jobs SET status = 'pending', error = ? WHERE id = ?",
                     (error, job_id),
                 )
+                self._emit(job_id, "pending", f"retrying after {status}: {error}")
             else:
                 stored = status
                 self._conn.execute(
                     "UPDATE jobs SET status = ?, error = ?, finished_at = ? WHERE id = ?",
                     (status, error, time.time(), job_id),
                 )
-            self._conn.commit()
+                self._emit(job_id, status, error)
             return stored
 
     def recover(self) -> int:
         """Re-queue jobs left ``running`` by a crashed process.
 
-        Called on service startup; the interrupted attempt still counts
-        against ``max_attempts``, and a job that already used its last
-        attempt is finalised as ``failed`` instead of being re-queued —
-        otherwise a job that *kills* the process (OOM, segfault in a C
-        extension) would crash-loop the service across restarts.
-        Returns the number of jobs put back to ``pending``.
+        Called on service startup *before* worker processes attach (in a
+        multi-worker deployment, boot the front first): jobs that other
+        live workers still own would be re-queued too, so this is a
+        boot-time recovery, not a liveness check.  The interrupted
+        attempt still counts against ``max_attempts``, and a job that
+        already used its last attempt is finalised as ``failed`` instead
+        of being re-queued — otherwise a job that *kills* the process
+        (OOM, segfault in a C extension) would crash-loop the service
+        across restarts.  Returns the number of jobs put back to
+        ``pending``.
         """
-        with self._lock:
+        with self._tx():
+            dead = self._conn.execute(
+                "SELECT id FROM jobs WHERE status = 'running' AND attempts >= ?",
+                (self.max_attempts,),
+            ).fetchall()
             self._conn.execute(
                 "UPDATE jobs SET status = 'failed', finished_at = ?, "
                 "error = COALESCE(error, 'process died while the job was running') "
                 "WHERE status = 'running' AND attempts >= ?",
                 (time.time(), self.max_attempts),
             )
+            for (job_id,) in dead:
+                self._emit(job_id, "failed", "process died while the job was running")
+            requeued = self._conn.execute(
+                "SELECT id FROM jobs WHERE status = 'running'"
+            ).fetchall()
             cursor = self._conn.execute(
                 "UPDATE jobs SET status = 'pending' WHERE status = 'running'"
             )
-            self._conn.commit()
+            for (job_id,) in requeued:
+                self._emit(job_id, "pending", "recovered after restart")
             return cursor.rowcount
+
+    # -- events ---------------------------------------------------------
+    def events_for(self, job_id: str, after: int = 0, limit: int = 1000) -> List[JobEvent]:
+        """The durable event feed of one job, strictly after ``after``.
+
+        Reading is transaction-free (WAL readers never block writers);
+        the feed is append-only, so polling with the last seen ``seq`` is
+        a complete, gap-free stream even across processes.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT seq, job_id, event, detail, created_at FROM job_events "
+                "WHERE job_id = ? AND seq > ? ORDER BY seq ASC LIMIT ?",
+                (job_id, after, max(0, limit)),
+            ).fetchall()
+        return [JobEvent(int(r[0]), r[1], r[2], r[3], r[4]) for r in rows]
 
     # -- inspection -----------------------------------------------------
     def get(self, job_id: str) -> Optional[JobRecord]:
@@ -272,6 +442,28 @@ class JobQueue:
         for status, count in rows:
             counts[status] = int(count)
         return counts
+
+    def counts_by_tenant(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant job counts by status (anonymous jobs under ``""``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT COALESCE(tenant, ''), status, COUNT(*) FROM jobs GROUP BY 1, 2"
+            ).fetchall()
+        out: Dict[str, Dict[str, int]] = {}
+        for tenant, status, count in rows:
+            out.setdefault(str(tenant), {})[str(status)] = int(count)
+        return out
+
+    def active_count(self, tenant: Optional[str]) -> int:
+        """Pending+running jobs owned by one tenant (quota accounting)."""
+        with self._lock:
+            return int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM jobs "
+                    "WHERE tenant IS ? AND status IN ('pending', 'running')",
+                    (tenant,),
+                ).fetchone()[0]
+            )
 
     def counts_by_engine(self) -> Dict[str, int]:
         """Job counts by requested engine (``settings.engine`` of the

@@ -7,28 +7,45 @@ survives restarts — a result written before :meth:`ResultStore.close` is
 served after reopening the same path — and keeps hit/miss/evict
 accounting for the ``/stats`` endpoint.
 
-Concurrency: a single sqlite connection guarded by a lock, shared by the
-HTTP handler threads and the worker pool.  Reads that *serve* a result
-(:meth:`get`) count towards the hit rate; reads that merely *poll* for
-one (:meth:`peek`, used by ``GET /jobs/{id}``) do not, so a client
-polling a slow job cannot dilute the cache statistics.
+Concurrency: connection-per-component on a WAL-journaled database with a
+busy timeout (:mod:`repro.service.backend`), and every mutation in a
+``BEGIN IMMEDIATE`` transaction — so N worker processes and the HTTP
+front can share one store file.  Two workers resolving the same
+fingerprint concurrently land on one row (the write is an UPSERT inside
+the write lock) and the LRU sequence is derived *inside* the
+transaction (``MAX(access_seq)+1``), never from in-process state that
+another process could be advancing at the same time.
+
+Accounting exists at two scopes: the in-process counters
+(:attr:`hits` / :attr:`misses` / :attr:`evictions`, process lifetime —
+what one front's ``/stats`` reports as its own traffic) and the shared
+``store_counters`` table, incremented in the same transaction as the
+lookup they describe, which aggregates across every process on the
+backend (reported as ``shared`` in :meth:`stats`).
+
+Reads that *serve* a result (:meth:`get`) count towards the hit rate;
+reads that merely *poll* for one (:meth:`peek`, used by
+``GET /jobs/{id}`` and the event streams) touch no accounting at all, so
+a client polling a slow job cannot dilute the cache statistics.
 
 An optional ``max_entries`` bound turns the store into an LRU cache:
 inserting beyond the bound evicts the least-recently-served rows and
-increments the eviction counter.
+increments the eviction counters.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
-import sqlite3
 import threading
-import time
 from typing import Dict, Optional
+
+from repro.service.backend import connect_sqlite
 
 __all__ = ["ResultStore"]
 
-_SCHEMA = """
+_SCHEMA = (
+    """
 CREATE TABLE IF NOT EXISTS results (
     fingerprint  TEXT PRIMARY KEY,
     name         TEXT NOT NULL,
@@ -36,9 +53,16 @@ CREATE TABLE IF NOT EXISTS results (
     created_at   REAL NOT NULL,
     access_seq   INTEGER NOT NULL,
     access_count INTEGER NOT NULL DEFAULT 0
-);
-CREATE INDEX IF NOT EXISTS idx_results_access ON results(access_seq);
-"""
+)
+""",
+    "CREATE INDEX IF NOT EXISTS idx_results_access ON results(access_seq)",
+    """
+CREATE TABLE IF NOT EXISTS store_counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+)
+""",
+)
 
 
 class ResultStore:
@@ -61,14 +85,35 @@ class ResultStore:
         self.path = path
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(path, check_same_thread=False, timeout=30.0)
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
-        row = self._conn.execute("SELECT COALESCE(MAX(access_seq), 0) FROM results").fetchone()
-        self._seq = int(row[0])
+        self._conn = connect_sqlite(path)
+        self._conn.isolation_level = None
+        with self._tx():
+            for statement in _SCHEMA:
+                self._conn.execute(statement)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    @contextlib.contextmanager
+    def _tx(self):
+        """``BEGIN IMMEDIATE`` under the in-process lock (see queue)."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._conn.execute("COMMIT")
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        """Bump a shared counter (call inside an open transaction)."""
+        self._conn.execute(
+            "INSERT INTO store_counters(name, value) VALUES(?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (name, delta),
+        )
 
     # -- reads ----------------------------------------------------------
     def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
@@ -76,21 +121,22 @@ class ResultStore:
 
         A hit also refreshes the row's LRU position and access count.
         """
-        with self._lock:
+        with self._tx():
             row = self._conn.execute(
                 "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
             ).fetchone()
             if row is None:
                 self.misses += 1
+                self._count("misses")
                 return None
             self.hits += 1
-            self._seq += 1
+            self._count("hits")
             self._conn.execute(
-                "UPDATE results SET access_seq = ?, access_count = access_count + 1 "
-                "WHERE fingerprint = ?",
-                (self._seq, fingerprint),
+                "UPDATE results SET access_seq = "
+                "(SELECT COALESCE(MAX(access_seq), 0) + 1 FROM results), "
+                "access_count = access_count + 1 WHERE fingerprint = ?",
+                (fingerprint,),
             )
-            self._conn.commit()
             return json.loads(row[0])
 
     def peek(self, fingerprint: str) -> Optional[Dict[str, object]]:
@@ -114,16 +160,23 @@ class ResultStore:
 
     # -- writes ---------------------------------------------------------
     def put(self, fingerprint: str, name: str, payload: Dict[str, object]) -> None:
-        """Store (or overwrite) the payload for ``fingerprint``."""
+        """Store (or overwrite) the payload for ``fingerprint``.
+
+        Concurrent puts of the same fingerprint (two workers that both
+        resolved a coalesced request) serialise on the write lock and
+        land on one row; insertion and LRU eviction are one atomic step,
+        so a bounded store can never transiently exceed ``max_entries``
+        for another process.
+        """
         blob = json.dumps(payload, sort_keys=True)
-        with self._lock:
-            self._seq += 1
+        with self._tx():
             self._conn.execute(
                 "INSERT INTO results(fingerprint, name, payload, created_at, access_seq) "
-                "VALUES(?, ?, ?, ?, ?) "
+                "VALUES(?, ?, ?, strftime('%s','now'), "
+                "(SELECT COALESCE(MAX(access_seq), 0) + 1 FROM results)) "
                 "ON CONFLICT(fingerprint) DO UPDATE SET "
                 "payload = excluded.payload, access_seq = excluded.access_seq",
-                (fingerprint, name, blob, time.time(), self._seq),
+                (fingerprint, name, blob),
             )
             if self.max_entries is not None:
                 excess = self._conn.execute(
@@ -138,11 +191,22 @@ class ResultStore:
                         "DELETE FROM results WHERE fingerprint = ?", victims
                     )
                     self.evictions += len(victims)
-            self._conn.commit()
+                    self._count("evictions", len(victims))
 
     # -- accounting -----------------------------------------------------
+    def shared_counters(self) -> Dict[str, int]:
+        """The cross-process counters (all processes on this backend)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name, value FROM store_counters"
+            ).fetchall()
+        counters = {"hits": 0, "misses": 0, "evictions": 0}
+        for name, value in rows:
+            counters[str(name)] = int(value)
+        return counters
+
     def stats(self) -> Dict[str, object]:
-        """Hit/miss/evict counters (process lifetime) and current size."""
+        """Hit/miss/evict counters (process lifetime and shared) and size."""
         lookups = self.hits + self.misses
         return {
             "path": self.path,
@@ -151,6 +215,7 @@ class ResultStore:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": round(self.hits / lookups, 4) if lookups else None,
+            "shared": self.shared_counters(),
         }
 
     # -- lifecycle ------------------------------------------------------

@@ -85,6 +85,7 @@ class WorkerPool:
         timeout: Optional[float] = None,
         poll_interval: float = 0.05,
         search_jobs: Optional[int] = None,
+        name: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -94,6 +95,10 @@ class WorkerPool:
         self.timeout = timeout
         self.poll_interval = poll_interval
         self.search_jobs = search_jobs
+        # Recorded on every claim (jobs.claimed_by): in a multi-process
+        # deployment each ``pyetrify worker`` names itself host:pid so
+        # /v1 job records show which process ran what.
+        self.name = name or f"{os.uname().nodename}:{os.getpid()}"
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._started_at: Optional[float] = None
@@ -213,7 +218,7 @@ class WorkerPool:
     # -- per-job steps (each guarded so the dispatcher cannot die) ------
     def _claim_one(self) -> Optional[JobRecord]:
         try:
-            claimed = self.queue.claim(limit=1)
+            claimed = self.queue.claim(limit=1, worker=self.name)
         except Exception as error:
             self._note_error(error)
             self._stop.wait(self.poll_interval)
@@ -309,6 +314,7 @@ class WorkerPool:
         )
         capacity = elapsed * self.jobs
         return {
+            "name": self.name,
             "jobs": self.jobs,
             "running": self.running,
             "timeout": self.timeout,
