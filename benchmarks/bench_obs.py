@@ -1,0 +1,168 @@
+"""Observability guard: instrumentation must not change results or cost.
+
+Runs the solvable Table-2 library three ways —
+
+* ``legacy``   — the pre-engine serial sweep (caches off), the frozen
+  yardstick that factors machine speed out of cross-run comparisons;
+* ``disabled`` — the engine serial sweep exactly as production runs it:
+  spans compiled in but nothing listening, metrics registry untouched,
+  no progress hook, logging at the default threshold;
+* ``enabled``  — the same sweep with every observability channel wide
+  open: an active trace spooling every span, per-item phase
+  accumulation, a progress hook swallowing every record, and
+  debug-level logging aimed at ``/dev/null``
+
+— and enforces the two invariants of the observability tier:
+
+1. **identity** — the per-STG result fingerprints of all three sweeps
+   are byte-identical.  Observability is presentation-only; a single
+   differing insertion means a span or hook leaked into control flow.
+2. **overhead** — the fully-enabled sweep stays within a generous
+   in-run ratio of the disabled one, and a microbenchmark pins the
+   disabled cost of one ``span()`` to nanoseconds.  The cross-PR wall
+   gate (``check_bench_regression.py --suite obs``) additionally holds
+   the *disabled* sweep to the committed baseline via the legacy
+   yardstick, so instrumentation can never quietly tax the default
+   path.
+
+The wall-clock record lands in ``BENCH_obs.json`` at the repository
+root.  Runnable standalone (``PYTHONPATH=src python
+benchmarks/bench_obs.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.engine.batch import run_benchmark_suite
+from repro.obs import (
+    configure_logging,
+    export_chrome_trace,
+    logging_level,
+    span,
+    start_trace,
+    stop_trace,
+    use_progress_hook,
+)
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+SUITE = "table2"
+#: In-run ceiling on enabled/disabled wall-clock (the cross-PR gate is
+#: the tight one; this catches only pathological always-on cost).
+MAX_OVERHEAD_RATIO = 1.5
+#: Ceiling on one no-listener ``span()`` round trip.
+MAX_SPAN_DISABLED_NS = 5000
+_SPAN_BENCH_ITERATIONS = 200_000
+
+
+def _span_disabled_ns() -> float:
+    """Nanoseconds per ``span()`` round trip with nothing listening."""
+    t0 = time.perf_counter()
+    for _ in range(_SPAN_BENCH_ITERATIONS):
+        with span("noop"):
+            pass
+    return (time.perf_counter() - t0) * 1e9 / _SPAN_BENCH_ITERATIONS
+
+
+def run_obs_benchmark(record_path: pathlib.Path = RECORD_PATH) -> dict:
+    """Run the three sweeps, check identity, write and return the record."""
+    legacy = run_benchmark_suite(table=SUITE, jobs=1, caches_on=False)
+    disabled = run_benchmark_suite(table=SUITE, jobs=1, caches_on=True)
+
+    progress_records = []
+    spool = tempfile.mkdtemp(prefix="pyetrify-bench-obs-")
+    trace_path = os.path.join(spool, "trace.json")
+    previous_level = logging_level()
+    devnull = open(os.devnull, "w", encoding="utf-8")
+    start_trace(os.path.join(spool, "spool"))
+    try:
+        configure_logging("debug", stream=devnull)
+        with use_progress_hook(progress_records.append):
+            enabled = run_benchmark_suite(
+                table=SUITE, jobs=1, caches_on=True, phases=True
+            )
+        trace_events = export_chrome_trace(trace_path)
+    finally:
+        stop_trace(cleanup=True)
+        configure_logging(previous_level, stream=sys.stderr)
+        devnull.close()
+
+    fingerprints = [
+        json.dumps(result.fingerprints(), sort_keys=True)
+        for result in (legacy, disabled, enabled)
+    ]
+    identical = len(set(fingerprints)) == 1
+    span_ns = _span_disabled_ns()
+
+    record = {
+        "benchmark": "bench_obs",
+        "suite": SUITE,
+        "cases": [item.name for item in disabled.items],
+        "legacy_seconds": round(legacy.wall_seconds, 3),
+        "disabled_seconds": round(disabled.wall_seconds, 3),
+        "enabled_seconds": round(enabled.wall_seconds, 3),
+        "overhead_ratio": round(enabled.wall_seconds / disabled.wall_seconds, 3),
+        "identical": identical,
+        "trace_events": trace_events,
+        "progress_records": len(progress_records),
+        "span_disabled_ns": round(span_ns, 1),
+        "solved": disabled.solved_count,
+        "total": len(disabled.items),
+        "phase_totals": _phase_totals(enabled),
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def _phase_totals(result) -> dict:
+    """Library-wide per-phase seconds, summed over the enabled sweep."""
+    totals = {}
+    for item in result.items:
+        for name, seconds in (item.phases or {}).items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return {name: round(seconds, 3) for name, seconds in sorted(totals.items())}
+
+
+def test_obs_overhead(report_sink):
+    """Fully-enabled observability must keep results byte-identical and
+    the sweep within :data:`MAX_OVERHEAD_RATIO` of the disabled run."""
+    record = run_obs_benchmark()
+    report_sink.setdefault("Observability: disabled vs fully enabled (Table-2)", []).append(
+        {
+            "cases": record["total"],
+            "disabled_s": record["disabled_seconds"],
+            "enabled_s": record["enabled_seconds"],
+            "ratio": record["overhead_ratio"],
+            "trace_events": record["trace_events"],
+            "progress": record["progress_records"],
+            "span_ns": record["span_disabled_ns"],
+            "identical": record["identical"],
+        }
+    )
+    assert record["identical"], "observability changed solver results"
+    assert record["trace_events"] > 0, "enabled sweep produced no trace events"
+    assert record["progress_records"] > 0, "enabled sweep emitted no progress"
+    assert record["overhead_ratio"] <= MAX_OVERHEAD_RATIO, (
+        f"enabled observability costs {record['overhead_ratio']}x "
+        f"(ceiling {MAX_OVERHEAD_RATIO}x)"
+    )
+    assert record["span_disabled_ns"] <= MAX_SPAN_DISABLED_NS, (
+        f"a disabled span costs {record['span_disabled_ns']}ns "
+        f"(ceiling {MAX_SPAN_DISABLED_NS}ns)"
+    )
+
+
+if __name__ == "__main__":
+    outcome = run_obs_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    ok = (
+        outcome["identical"]
+        and outcome["overhead_ratio"] <= MAX_OVERHEAD_RATIO
+        and outcome["span_disabled_ns"] <= MAX_SPAN_DISABLED_NS
+    )
+    sys.exit(0 if ok else 1)

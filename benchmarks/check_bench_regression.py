@@ -1,6 +1,6 @@
 """Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Four suites, selected by ``--suite``:
+Five suites, selected by ``--suite``:
 
 ``table2`` (default)
     Runs the full Table-2 sweep three ways via
@@ -27,6 +27,17 @@ Four suites, selected by ``--suite``:
     the *search serial* wall-clock — so the generate/evaluate/merge
     restructure of the Figure-4 search can never quietly slow the
     serial path down.
+
+``obs``
+    Runs the observability guard via
+    :func:`benchmarks.bench_obs.run_obs_benchmark` (refreshing
+    ``BENCH_obs.json``): the Table-2 sweep with observability at rest
+    vs fully enabled.  Result fingerprints must stay byte-identical
+    across all three runs (observability is presentation-only by
+    construction), the enabled/disabled overhead ratio is bounded
+    in-run, and the *disabled* sweep wall-clock is gated against the
+    committed baseline via the legacy yardstick — so instrumentation
+    can never quietly tax the default path.
 
 ``swarm``
     Runs the concurrent-client service sweep via
@@ -67,6 +78,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
+from bench_obs import (  # noqa: E402
+    MAX_OVERHEAD_RATIO,
+    RECORD_PATH as OBS_RECORD_PATH,
+    run_obs_benchmark,
+)
 from bench_parallel_search import (  # noqa: E402
     RECORD_PATH as SEARCH_RECORD_PATH,
     run_search_benchmark,
@@ -231,6 +247,40 @@ def check_search(baseline_path: pathlib.Path, tolerance: float) -> int:
     return 0
 
 
+def check_obs(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_obs_benchmark()
+
+    if not record["identical"]:
+        print("FAIL: observability changed solver results (fingerprint drift)")
+        return 1
+    if record["overhead_ratio"] > MAX_OVERHEAD_RATIO:
+        print(
+            f"FAIL: fully-enabled observability costs {record['overhead_ratio']}x "
+            f"the disabled sweep (ceiling {MAX_OVERHEAD_RATIO}x)"
+        )
+        return 1
+
+    ok = _gate(
+        "obs-disabled sweep",
+        float(baseline["legacy_seconds"]),
+        float(record["legacy_seconds"]),
+        float(baseline["disabled_seconds"]),
+        float(record["disabled_seconds"]),
+        tolerance,
+    )
+    print(
+        f"enabled/disabled ratio {record['overhead_ratio']}x, "
+        f"{record['trace_events']} trace events, "
+        f"{record['progress_records']} progress records, "
+        f"disabled span {record['span_disabled_ns']}ns; refreshed {OBS_RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
 def check_swarm(baseline_path: pathlib.Path, tolerance: float) -> int:
     baseline = json.loads(baseline_path.read_text())
     record = run_swarm_benchmark()
@@ -285,7 +335,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=["table2", "table1", "search", "swarm"],
+        choices=["table2", "table1", "search", "swarm", "obs"],
         default="table2",
         help="which sweep to gate (default: the Table-2 engine sweep)",
     )
@@ -314,6 +364,9 @@ def main(argv=None) -> int:
     if args.suite == "swarm":
         baseline_path = args.baseline or SWARM_RECORD_PATH
         return check_swarm(baseline_path, args.tolerance)
+    if args.suite == "obs":
+        baseline_path = args.baseline or OBS_RECORD_PATH
+        return check_obs(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
     return check_table2(baseline_path, args.tolerance)
 

@@ -35,6 +35,7 @@ from repro.core.csc import csc_summary
 from repro.core.solver import EncodingResult, SolverSettings, solve_csc
 from repro.engine.batch import BatchItem, BatchResult, encode_many
 from repro.logic.netlist import CircuitEstimate, estimate_circuit
+from repro.obs import span
 from repro.petri.synthesis import SynthesisError, synthesize_stg
 from repro.stg.state_graph import StateGraph, build_state_graph
 from repro.stg.stg import STG
@@ -178,20 +179,24 @@ def encode_stg(
         Safety bound on explicit state-graph construction.
     """
     watch = Stopwatch().start()
-    sg = build_state_graph(stg, max_states=max_states)
-    result = solve_csc(sg, settings)
+    with span("reachability", name=stg.name):
+        sg = build_state_graph(stg, max_states=max_states)
+    with span("solve", name=stg.name):
+        result = solve_csc(sg, settings)
 
     circuit: Optional[CircuitEstimate] = None
     if estimate_logic and result.solved:
-        circuit = estimate_circuit(result.final_sg, name=stg.name)
+        with span("logic", name=stg.name):
+            circuit = estimate_circuit(result.final_sg, name=stg.name)
 
     encoded_stg: Optional[STG] = None
     resynthesis_error: Optional[str] = None
     if resynthesize and result.solved:
-        try:
-            encoded_stg = synthesize_stg(result.final_sg, name=f"{stg.name}_csc")
-        except SynthesisError as error:
-            resynthesis_error = str(error)
+        with span("resynthesize", name=stg.name):
+            try:
+                encoded_stg = synthesize_stg(result.final_sg, name=f"{stg.name}_csc")
+            except SynthesisError as error:
+                resynthesis_error = str(error)
 
     return EncodingReport(
         stg=stg,

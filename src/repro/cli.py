@@ -122,6 +122,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     stg = read_g_file(args.file)
+    if args.trace is not None:
+        from repro.obs import start_trace
+
+        start_trace()
     report = encode_stg(
         stg,
         settings=_solver_settings(args),
@@ -138,6 +142,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("next-state functions:")
         for signal, implementation in report.circuit.implementations.items():
             print(f"  [{signal}] = {implementation.expression()}")
+    if args.trace is not None:
+        from repro.obs import export_chrome_trace
+
+        count = export_chrome_trace(args.trace, cleanup=True)
+        print(f"trace with {count} events written to {args.trace}")
     if args.output is not None:
         if report.encoded_stg is not None:
             write_g(report.encoded_stg, args.output)
@@ -398,7 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-states", type=int, default=200000, help="bound on explicit state-graph size")
         sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
         sub.add_argument("--search-jobs", type=int, default=None, metavar="N", help="shard each insertion search across N workers (results identical to serial; in --all mode clamped so --jobs x N fits the machine)")
-        sub.add_argument("--verbose", action="store_true")
+        sub.add_argument("--verbose", action="store_true", help="log per-insertion solver progress (debug level)")
+        sub.add_argument("-q", "--quiet", action="store_true", help="log errors only")
 
     info = subparsers.add_parser("info", help="report STG statistics and CSC conflicts")
     info.add_argument("file", help="input .g file")
@@ -428,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("-o", "--output", help="write the encoded STG to this .g file")
     solve.add_argument("--equations", action="store_true", help="print minimised next-state functions")
     solve.add_argument("--no-logic", action="store_true", help="skip logic estimation")
+    solve.add_argument("--trace", default=None, metavar="FILE", help="write a Chrome trace-event JSON of the solve (load in Perfetto or chrome://tracing)")
     add_common(solve)
     solve.set_defaults(handler=_cmd_solve)
 
@@ -454,7 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
     serve.add_argument("--max-backlog", type=int, default=None, metavar="N", help="reject submissions with 503 when N jobs are already pending (default unbounded)")
     serve.add_argument("--no-workers", action="store_true", help="serve the API only; drain the queue with separate `pyetrify worker` processes")
-    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request (structured access log at info level)")
+    serve.add_argument("-q", "--quiet", action="store_true", help="log errors only")
     serve.set_defaults(handler=_cmd_serve)
 
     worker = subparsers.add_parser("worker", help="attach a worker process to a service backend and drain its queue")
@@ -462,6 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--jobs", type=int, default=1, help="concurrent encodings in this worker process")
     worker.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
     worker.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width (clamped against --jobs)")
+    worker.add_argument("--verbose", action="store_true", help="debug-level logging")
+    worker.add_argument("-q", "--quiet", action="store_true", help="log errors only")
     worker.set_defaults(handler=_cmd_worker)
 
     admin = subparsers.add_parser("admin", help="manage service tenants and API keys (direct backend access)")
@@ -487,6 +501,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # one global threshold (repro.obs.log): -q wins over --verbose;
+    # the default "info" keeps operational warnings visible
+    if getattr(args, "quiet", False):
+        from repro.obs import configure_logging
+
+        configure_logging("error")
+    elif getattr(args, "verbose", False):
+        from repro.obs import configure_logging
+
+        configure_logging("debug")
     return args.handler(args)
 
 

@@ -25,6 +25,7 @@ from repro.core.sip import InsertionCheck, check_insertion
 from repro.core import indexed
 from repro.engine import caches as engine_caches
 from repro.engine import shard
+from repro.obs import emit_progress, span
 from repro.stg.signals import SignalType
 from repro.stg.state_graph import StateGraph
 from repro.ts.properties import is_event_persistent
@@ -373,9 +374,10 @@ def _find_insertion_plan_indexed(
     evaluation batch walks the generated candidates in generation order,
     which reproduces the serial search decision for decision.
     """
-    bricks, masks, adjacency = indexed.indexed_brick_bundle(
-        sg, mode=settings.brick_mode, max_explored=settings.region_budget
-    )
+    with span("search.bricks", mode=settings.brick_mode):
+        bricks, masks, adjacency = indexed.indexed_brick_bundle(
+            sg, mode=settings.brick_mode, max_explored=settings.region_budget
+        )
     if not bricks:
         return None
     index = indexed.indexed_state_graph(sg)
@@ -389,7 +391,8 @@ def _find_insertion_plan_indexed(
     next_seq = itertools.count()
     with shard.search_pool(evaluator.kernel, search_jobs) as pool:
         # --- seed: every brick is a candidate block ---------------------
-        _evaluate_masks(evaluator, masks, pool)
+        with span("search.evaluate", masks=len(masks), seed=True):
+            _evaluate_masks(evaluator, masks, pool)
         for brick_index, mask in enumerate(masks):
             evaluation = evaluator.evaluate(mask)
             if evaluation is None or mask in seen_blocks:
@@ -406,24 +409,26 @@ def _find_insertion_plan_indexed(
         frontier = _rank_indexed(good)[: settings.frontier_width]
 
         # --- Figure 4: grow blocks with adjacent bricks -----------------
-        for _iteration in range(settings.max_search_iterations):
+        for iteration in range(settings.max_search_iterations):
             # generation: enlargements in frontier order, deduplicated by
             # the seen-set exactly as the serial interleaving would
             grown_tasks: List[Tuple[_IndexedCandidate, int, int]] = []
-            for candidate in frontier:
-                check_deadline()
-                neighbour_indices: Set[int] = set()
-                for brick_index in candidate.brick_indices:
-                    neighbour_indices.update(adjacency[brick_index])
-                neighbour_indices -= set(candidate.brick_indices)
-                for brick_index in sorted(neighbour_indices):
-                    grown_mask = candidate.mask | masks[brick_index]
-                    if grown_mask in seen_blocks or grown_mask.bit_count() >= num_states:
-                        continue
-                    seen_blocks.add(grown_mask)
-                    grown_tasks.append((candidate, brick_index, grown_mask))
+            with span("search.generate", frontier=len(frontier)):
+                for candidate in frontier:
+                    check_deadline()
+                    neighbour_indices: Set[int] = set()
+                    for brick_index in candidate.brick_indices:
+                        neighbour_indices.update(adjacency[brick_index])
+                    neighbour_indices -= set(candidate.brick_indices)
+                    for brick_index in sorted(neighbour_indices):
+                        grown_mask = candidate.mask | masks[brick_index]
+                        if grown_mask in seen_blocks or grown_mask.bit_count() >= num_states:
+                            continue
+                        seen_blocks.add(grown_mask)
+                        grown_tasks.append((candidate, brick_index, grown_mask))
             # evaluation: pure per-mask work, sharded when worth it
-            _evaluate_masks(evaluator, [task[2] for task in grown_tasks], pool)
+            with span("search.evaluate", masks=len(grown_tasks)):
+                _evaluate_masks(evaluator, [task[2] for task in grown_tasks], pool)
             # merge: acceptance in generation order (deterministic)
             new_frontier: List[_IndexedCandidate] = []
             for candidate, brick_index, grown_mask in grown_tasks:
@@ -439,6 +444,16 @@ def _find_insertion_plan_indexed(
                     )
                     good.append(grown)
                     new_frontier.append(grown)
+            emit_progress(
+                stage="search",
+                signal=signal,
+                iteration=iteration,
+                frontier=len(frontier),
+                generated=len(grown_tasks),
+                accepted=len(new_frontier),
+                candidates_ranked=len(good),
+                cache=engine_caches.STATS.snapshot(),
+            )
             if not new_frontier:
                 break
             frontier = _rank_indexed(new_frontier)[: settings.frontier_width]
@@ -446,7 +461,8 @@ def _find_insertion_plan_indexed(
     ranked = _rank_indexed(good)
 
     # --- merge the best disconnected blocks ------------------------------
-    merged = _greedy_merge_indexed(ranked, evaluator, num_states, settings)
+    with span("search.merge", candidates=len(ranked)):
+        merged = _greedy_merge_indexed(ranked, evaluator, num_states, settings)
     if merged is not None:
         ranked = [merged] + ranked
 
@@ -463,15 +479,16 @@ def _find_insertion_plan_indexed(
             continue
         examined += 1
         partition = candidate.evaluation.to_partition(index)
-        check = check_insertion(
-            sg,
-            partition,
-            signal=signal,
-            signal_type=SignalType.INTERNAL,
-            persistent_before=persistent_before,
-            check_commutativity=settings.check_commutativity,
-            allow_input_delay=settings.allow_input_delay,
-        )
+        with span("search.sip", examined=examined):
+            check = check_insertion(
+                sg,
+                partition,
+                signal=signal,
+                signal_type=SignalType.INTERNAL,
+                persistent_before=persistent_before,
+                check_commutativity=settings.check_commutativity,
+                allow_input_delay=settings.allow_input_delay,
+            )
         if not check.ok:
             continue
         if settings.require_actual_progress and check.new_sg is not None:

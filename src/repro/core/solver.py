@@ -16,9 +16,12 @@ from typing import Dict, List, Optional
 from repro.core.cost import Cost
 from repro.core.csc import csc_conflicts
 from repro.core.search import InsertionPlan, SearchSettings, find_insertion_plan
+from repro.obs import emit_progress, get_logger, span
 from repro.stg.state_graph import StateGraph
 from repro.utils.deadline import check_deadline
 from repro.utils.timing import Stopwatch
+
+_log = get_logger("solver")
 
 
 #: Valid values of :attr:`SolverSettings.engine`.
@@ -163,33 +166,41 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
         # incrementally in index space (bucketing its packed codes over
         # the parent's code-sharing groups) when the search validated the
         # insertion, and the memoized list is reused here.
-        conflicts = csc_conflicts(current)
+        with span("solver.conflicts", states=current.num_states):
+            conflicts = csc_conflicts(current)
         if not conflicts:
             result.solved = True
             break
         signal = _fresh_signal_name(current, settings.signal_prefix, counter)
-        plan: Optional[InsertionPlan] = find_insertion_plan(
-            current,
-            signal,
-            settings.search,
-            conflicts=conflicts,
-            search_jobs=settings.search_jobs,
-        )
+        with span("solver.search", signal=signal, conflicts=len(conflicts)):
+            plan: Optional[InsertionPlan] = find_insertion_plan(
+                current,
+                signal,
+                settings.search,
+                conflicts=conflicts,
+                search_jobs=settings.search_jobs,
+            )
         if plan is None:
             if settings.verbose:
-                print(f"[solver] no valid insertion found with {len(conflicts)} conflicts left")
+                _log.info(
+                    "no_valid_insertion", name=sg.name, conflicts=len(conflicts)
+                )
             break
         new_sg = plan.new_sg
-        conflicts_after = len(csc_conflicts(new_sg))
+        with span("solver.conflicts", states=new_sg.num_states):
+            conflicts_after = len(csc_conflicts(new_sg))
         if settings.require_progress and conflicts_after >= len(conflicts):
             # The best valid insertion does not reduce the number of
             # conflicts: the specification cannot be solved within the
             # current constraints (typically: without delaying inputs).
             # Stop instead of piling up useless state signals.
             if settings.verbose:
-                print(
-                    f"[solver] insertion of {signal} would not reduce conflicts "
-                    f"({len(conflicts)} -> {conflicts_after}); stopping"
+                _log.info(
+                    "insertion_not_reducing",
+                    name=sg.name,
+                    signal=signal,
+                    conflicts_before=len(conflicts),
+                    conflicts_after=conflicts_after,
                 )
             break
         result.records.append(
@@ -205,10 +216,26 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
                 candidates_examined=plan.candidates_examined,
             )
         )
+        emit_progress(
+            stage="solver",
+            name=sg.name,
+            iteration=counter,
+            signal=signal,
+            conflicts_before=len(conflicts),
+            conflicts_remaining=conflicts_after,
+            states=new_sg.num_states,
+            candidates_examined=plan.candidates_examined,
+            inserted=len(result.records),
+        )
         if settings.verbose:
-            print(
-                f"[solver] inserted {signal}: conflicts {len(conflicts)} -> {conflicts_after}, "
-                f"states {current.num_states} -> {new_sg.num_states}"
+            _log.info(
+                "inserted",
+                name=sg.name,
+                signal=signal,
+                conflicts_before=len(conflicts),
+                conflicts_after=conflicts_after,
+                states_before=current.num_states,
+                states_after=new_sg.num_states,
             )
         current = new_sg
     else:

@@ -28,6 +28,7 @@ explicitly (``explicit_ok=False``) — the workload this tier opens up.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -37,6 +38,13 @@ from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
 from repro.core.solver import ENGINES, SolverSettings
 from repro.engine.caches import use_caches
 from repro.engine.shard import shard_budget
+from repro.obs import (
+    adopt_trace_context,
+    collect_phases,
+    span,
+    trace_context,
+    use_progress_hook,
+)
 from repro.stg.stg import STG
 from repro.utils.deadline import DeadlineExceeded, deadline
 from repro.utils.timing import Stopwatch
@@ -61,13 +69,15 @@ class BatchItem:
     status: str = "ok"
     engine: str = "explicit"
     census: Optional[Dict[str, object]] = None  # symbolic/auto engines only
+    phases: Optional[Dict[str, float]] = None  # span-derived timing, opt-in
 
     def fingerprint(self) -> Dict[str, object]:
         """Result identity minus timing (for serial-vs-parallel checks).
 
         ``census`` stays out: its BDD statistics are deterministic but
         its seconds are not, and the census is bookkeeping about *how*
-        the result was obtained, not part of the result.
+        the result was obtained, not part of the result.  ``phases`` is
+        pure timing and stays out for the same reason.
         """
         flat = {key: value for key, value in self.summary.items() if key != "cpu_seconds"}
         row = {key: value for key, value in self.table_row.items() if key != "cpu"}
@@ -90,6 +100,7 @@ class BatchItem:
             "status": self.status,
             "engine": self.engine,
             "census": self.census,
+            "phases": self.phases,
         }
 
 
@@ -143,8 +154,10 @@ def budgeted_settings(
     ``jobs`` STG-level workers, the per-request in-solve worker count is
     clamped so ``jobs × search_jobs`` never exceeds the machine budget.
     Clamping never changes results — a sharded search is byte-identical
-    at any worker count — so it is safe to apply silently.  Returns the
-    input object untouched when nothing changes.
+    at any worker count — but it does change effective parallelism, so
+    :func:`shard_budget` logs a structured warning (and counts it in the
+    metrics registry) whenever it reduces a request.  Returns the input
+    object untouched when nothing changes.
     """
     requested = search_jobs
     if requested is None:
@@ -164,8 +177,44 @@ def _encode_one(payload) -> BatchItem:
     Module-level so it pickles for the process pool; ``payload`` carries
     everything the worker needs (the cache switch included, so a
     cache-disabled baseline run stays cache-free inside the workers).
+    The optional eighth element is the observability envelope built by
+    :func:`_obs_envelope` — trace context to adopt, a phase-collection
+    flag, and a progress spec the service worker uses to stream live
+    solver progress into the durable ``job_events`` feed.  All of it is
+    presentation-only: the encoded result is byte-identical with or
+    without the envelope.
     """
-    stg, settings, estimate_logic, max_states, caches_on, timeout, engine = payload
+    stg, settings, estimate_logic, max_states, caches_on, timeout, engine = payload[:7]
+    obs = payload[7] if len(payload) > 7 else None
+
+    phases_acc = None
+    with contextlib.ExitStack() as stack:
+        if obs:
+            adopt_trace_context(obs.get("trace"))
+            spec = obs.get("progress")
+            if spec:
+                # Deferred: the engine must stay importable without the
+                # service tier; only a service-built payload reaches here.
+                from repro.service.progress import JobProgressEmitter
+
+                emitter = JobProgressEmitter(*spec)
+                stack.callback(emitter.close)
+                stack.enter_context(use_progress_hook(emitter))
+            if obs.get("phases"):
+                phases_acc = stack.enter_context(collect_phases())
+        stack.enter_context(span("encode", name=stg.name, engine=engine))
+        item = _encode_item(
+            stg, settings, estimate_logic, max_states, caches_on, timeout, engine
+        )
+    if phases_acc:
+        item.phases = {name: round(seconds, 6) for name, seconds in sorted(phases_acc.items())}
+    return item
+
+
+def _encode_item(
+    stg, settings, estimate_logic, max_states, caches_on, timeout, engine
+) -> BatchItem:
+    """The encode proper (no observability scaffolding)."""
     from repro.api import encode_stg  # deferred: repro.api imports this package
 
     watch = Stopwatch().start()
@@ -204,6 +253,27 @@ def _encode_one(payload) -> BatchItem:
             status="error",
             engine=engine,
         )
+
+
+def _obs_envelope(phases: bool = False, progress=None) -> Optional[Dict[str, object]]:
+    """The observability element of an ``_encode_one`` payload.
+
+    ``None`` when there is nothing to carry, so the common untraced path
+    ships (and pickles) nothing extra.  ``progress`` is the
+    ``(queue_path, job_id, request_id)`` spec understood by
+    :class:`repro.service.progress.JobProgressEmitter`.
+    """
+    ctx = trace_context()
+    if ctx is None and not phases and progress is None:
+        return None
+    envelope: Dict[str, object] = {}
+    if ctx is not None:
+        envelope["trace"] = ctx
+    if phases:
+        envelope["phases"] = True
+    if progress is not None:
+        envelope["progress"] = progress
+    return envelope
 
 
 def _encode_symbolic(
@@ -269,6 +339,7 @@ def encode_many(
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
     search_jobs: Optional[int] = None,
+    phases: bool = False,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
 
@@ -310,6 +381,10 @@ def encode_many(
         (:func:`budgeted_settings`) so ``jobs × search_jobs`` never
         oversubscribes the machine; results are byte-identical at any
         width.
+    phases:
+        Collect per-phase span timings in each item's ``phases`` field
+        (``BENCH_*.json`` breakdowns).  Presentation-only: excluded from
+        fingerprints like every other timing.
     """
     stgs = list(stgs)
     if isinstance(settings, SolverSettings) or settings is None:
@@ -327,6 +402,7 @@ def encode_many(
     # ``jobs`` — either way the solves keep the sharding width the real
     # process count affords.
     effective_jobs = min(jobs, len(stgs)) if (jobs > 1 and len(stgs) >= 2) else 1
+    obs = _obs_envelope(phases=phases)
     payloads = []
     for stg, case_settings in zip(stgs, per_stg):
         case_settings = budgeted_settings(case_settings, effective_jobs, search_jobs)
@@ -339,6 +415,7 @@ def encode_many(
                 caches_on,
                 timeout,
                 resolve_engine(case_settings, engine),
+                obs,
             )
         )
 
@@ -410,6 +487,7 @@ def run_benchmark_suite(
     timeout: Optional[float] = None,
     engine: str = "explicit",
     search_jobs: Optional[int] = None,
+    phases: bool = False,
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
 
@@ -456,4 +534,5 @@ def run_benchmark_suite(
         timeout=timeout,
         engine=engine,
         search_jobs=search_jobs,
+        phases=phases,
     )

@@ -64,6 +64,47 @@ CARRY_REGION_BRICKS = True
 _state = threading.local()
 
 
+class CacheStats:
+    """Process-wide hit/miss/carry-over tallies for the engine caches.
+
+    Plain integer increments (no locks — GIL-tolerant telemetry): the
+    counters feed the solver's per-iteration progress records and the
+    observability surfaces, never control flow.
+    """
+
+    __slots__ = ("brick_hits", "brick_misses", "brick_carries", "adjacency_hits", "adjacency_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.brick_hits = 0
+        self.brick_misses = 0
+        self.brick_carries = 0
+        self.adjacency_hits = 0
+        self.adjacency_misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "brick_hits": self.brick_hits,
+            "brick_misses": self.brick_misses,
+            "brick_carries": self.brick_carries,
+            "adjacency_hits": self.adjacency_hits,
+            "adjacency_misses": self.adjacency_misses,
+        }
+
+    def hit_rate(self) -> float:
+        """Brick-entry hit rate (carry-overs count as hits)."""
+        total = self.brick_hits + self.brick_carries + self.brick_misses
+        if total == 0:
+            return 0.0
+        return (self.brick_hits + self.brick_carries) / total
+
+
+#: The process-global tally every cache lookup reports to.
+STATS = CacheStats()
+
+
 def caches_enabled() -> bool:
     """True when the engine caches are active in this thread.
 
@@ -225,6 +266,7 @@ def _indexed_module():
 def _er_bricks_for(sg, cache: SGCache, event) -> List[Brick]:
     bricks = cache.er_bricks.get(event)
     if bricks is not None:
+        STATS.brick_hits += 1
         return bricks
     parent_info = provenance_parent(cache)
     if parent_info is not None:
@@ -236,10 +278,12 @@ def _er_bricks_for(sg, cache: SGCache, event) -> List[Brick]:
                 mapped = _carried_bricks(sg, parent_entry, partition)
                 if mapped is not None:
                     cache.er_bricks[event] = mapped
+                    STATS.brick_carries += 1
                     return mapped
     indexed = _indexed_module()
     bricks = excitation_regions_indexed(indexed.indexed_state_graph(sg), event)
     cache.er_bricks[event] = bricks
+    STATS.brick_misses += 1
     return bricks
 
 
@@ -247,6 +291,7 @@ def _region_bricks_for(sg, cache: SGCache, event, max_explored: int) -> List[Bri
     key = (event, max_explored)
     bricks = cache.region_bricks.get(key)
     if bricks is not None:
+        STATS.brick_hits += 1
         return bricks
     parent_info = provenance_parent(cache) if CARRY_REGION_BRICKS else None
     if parent_info is not None:
@@ -258,12 +303,14 @@ def _region_bricks_for(sg, cache: SGCache, event, max_explored: int) -> List[Bri
                 mapped = _carried_bricks(sg, parent_entry, partition)
                 if mapped is not None:
                     cache.region_bricks[key] = mapped
+                    STATS.brick_carries += 1
                     return mapped
     indexed = _indexed_module()
     bricks = event_region_bricks_indexed(
         indexed.indexed_state_graph(sg), event, max_explored=max_explored
     )
     cache.region_bricks[key] = bricks
+    STATS.brick_misses += 1
     return bricks
 
 
@@ -310,8 +357,11 @@ def get_adjacency(sg, mode: str = "regions", max_explored: int = 20000) -> Dict[
     key = (mode, max_explored)
     adjacency = cache.adjacency.get(key)
     if adjacency is None:
+        STATS.adjacency_misses += 1
         indexed = _indexed_module()
         _bricks, _masks, rows = indexed.indexed_brick_bundle(sg, mode, max_explored)
         adjacency = indexed.adjacency_dict_from_bundle(rows)
         cache.adjacency[key] = adjacency
+    else:
+        STATS.adjacency_hits += 1
     return adjacency

@@ -51,7 +51,10 @@ from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.indexed import EvalKernel, IndexedEvaluation, evaluate_candidates
+from repro.obs import adopt_trace_context, get_logger, span, trace_context
 from repro.utils.deadline import deadline, remaining_time
+
+_log = get_logger("engine.shard")
 
 __all__ = [
     "SHARD_MODES",
@@ -112,7 +115,28 @@ def shard_budget(jobs: int, search_jobs: int, budget: Optional[int] = None) -> i
     if budget is None:
         budget = os.cpu_count() or 1
     budget = max(jobs, int(budget))
-    return max(1, min(search_jobs, budget // jobs))
+    effective = max(1, min(search_jobs, budget // jobs))
+    if effective < search_jobs:
+        # Never silent: operators asked for jobs × search_jobs workers
+        # and are getting fewer — say so and count it.
+        _log.warning(
+            "search_jobs_clamped",
+            requested=search_jobs,
+            effective=effective,
+            jobs=jobs,
+            budget=budget,
+        )
+        _clamp_counter().inc()
+    return effective
+
+
+def _clamp_counter():
+    from repro.obs import REGISTRY
+
+    return REGISTRY.counter(
+        "pyetrify_shard_clamps_total",
+        "Times the pool-budget rule clamped a requested search_jobs",
+    )
 
 
 def _fork_worker(task) -> List[Optional[IndexedEvaluation]]:
@@ -124,14 +148,15 @@ def _fork_worker(task) -> List[Optional[IndexedEvaluation]]:
     with no deadline state, and relying on fork inheriting the parent's
     thread-local deadline would be fragile).
     """
-    token, masks, remaining = task
-    with deadline(remaining):
+    token, masks, remaining, obs_ctx = task
+    adopt_trace_context(obs_ctx)  # spawn-safe; a fork child inherits anyway
+    with deadline(remaining), span("shard.evaluate", masks=len(masks)):
         return evaluate_candidates(_PARENT_KERNELS[token], masks)
 
 
 def _thread_worker(kernel: EvalKernel, masks, remaining) -> List[Optional[IndexedEvaluation]]:
     """Worker body in thread mode (same deadline re-arming as fork)."""
-    with deadline(remaining):
+    with deadline(remaining), span("shard.evaluate", masks=len(masks)):
         return evaluate_candidates(kernel, masks)
 
 
@@ -208,6 +233,7 @@ def search_pool(kernel: EvalKernel, jobs: int) -> Iterator[Optional[SearchPool]]
     if mode == "fork" and "fork" not in multiprocessing.get_all_start_methods():
         mode = "thread"
 
+    _log.debug("pool_open", mode=mode, jobs=jobs)
     if mode == "thread":
         executor = ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="repro-shard"
@@ -233,7 +259,9 @@ def search_pool(kernel: EvalKernel, jobs: int) -> Iterator[Optional[SearchPool]]
     try:
         yield SearchPool(
             executor,
-            lambda chunk: executor.submit(_fork_worker, (token, chunk, remaining_time())),
+            lambda chunk: executor.submit(
+                _fork_worker, (token, chunk, remaining_time(), trace_context())
+            ),
             jobs,
             "fork",
         )

@@ -1,0 +1,54 @@
+"""Thread-local progress hook: the solver reports, the host decides.
+
+The solver and the Figure-4 search call :func:`emit_progress` with a
+flat dict per iteration (conflicts remaining, frontier size, candidates
+ranked, cache hit rates).  By default nobody listens and the call is
+one attribute read.  Hosts opt in with :func:`use_progress_hook`:
+
+- the service worker installs a throttled emitter that inserts
+  ``progress`` rows into the durable ``job_events`` feed, so
+  ``GET /v1/jobs/{id}/events`` streams live solver progress over SSE;
+- tests and benches install a plain list appender.
+
+A hook must never be able to break a solve: exceptions raised by the
+callback are swallowed (the record is telemetry, not control flow).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+__all__ = ["emit_progress", "progress_hook", "use_progress_hook"]
+
+ProgressHook = Callable[[Dict[str, object]], None]
+
+_tls = threading.local()
+
+
+def progress_hook() -> Optional[ProgressHook]:
+    """The hook installed on this thread, if any."""
+    return getattr(_tls, "hook", None)
+
+
+@contextmanager
+def use_progress_hook(hook: Optional[ProgressHook]) -> Iterator[None]:
+    """Install ``hook`` for the duration of the block (this thread)."""
+    previous = getattr(_tls, "hook", None)
+    _tls.hook = hook
+    try:
+        yield
+    finally:
+        _tls.hook = previous
+
+
+def emit_progress(**record: object) -> None:
+    """Hand one progress record to the installed hook, if any."""
+    hook = getattr(_tls, "hook", None)
+    if hook is None:
+        return
+    try:
+        hook(dict(record))
+    except Exception:  # noqa: BLE001 - telemetry must not break the solve
+        pass

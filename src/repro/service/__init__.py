@@ -215,6 +215,7 @@ class EncodingService:
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, object]:
         """Submit one encoding request; dedupes against the result store.
 
@@ -252,6 +253,10 @@ class EncodingService:
         ``quota_active_jobs`` caps the tenant's concurrent pending+running
         jobs (:class:`QuotaExceeded` → HTTP 429); cached hits and
         coalescing duplicates are exempt, like the backlog bound.
+        ``request_id`` is the originating HTTP request's correlation id
+        (``X-Request-Id``): stamped onto the job record and echoed in
+        its progress heartbeats, so one id follows the request from the
+        front through the queue into the worker's telemetry.
         """
         if engine is not None:
             if engine not in ENGINES:
@@ -304,7 +309,9 @@ class EncodingService:
                 and self.queue.depth() >= self.max_backlog
             ):
                 raise BacklogFull(self.max_backlog)
-        job_id = self.queue.submit(fingerprint, stg.name, request, tenant=tenant)
+        job_id = self.queue.submit(
+            fingerprint, stg.name, request, tenant=tenant, request_id=request_id
+        )
         return {
             "fingerprint": fingerprint,
             "status": "pending",
@@ -324,6 +331,7 @@ class EncodingService:
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, object]:
         """Submit a named library benchmark.
 
@@ -355,6 +363,7 @@ class EncodingService:
             tenant=tenant,
             expected_fingerprint=expected_fingerprint,
             quota_active_jobs=quota_active_jobs,
+            request_id=request_id,
         )
 
     # -- retrieval ------------------------------------------------------

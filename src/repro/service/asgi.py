@@ -29,6 +29,7 @@ API surface (see ``API.md`` for schemas and curl examples)::
     GET  /v1/jobs/{id}/events        SSE stream (default) or ?wait= long-poll
     GET  /v1/results/{fingerprint}   content-addressed result
     GET  /v1/stats                   service statistics
+    GET  /v1/metrics                 Prometheus text exposition
     GET  /v1/tenants/me              the calling tenant + its accounting
     GET  /v1/admin/stats             per-tenant breakdown   (admin key)
     GET  /v1/admin/tenants           list tenants           (admin key)
@@ -50,14 +51,61 @@ import asyncio
 import functools
 import json
 import threading
+import time
 import urllib.parse
+import uuid
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import REGISTRY, get_logger, span_event
 from repro.service import BacklogFull, FingerprintMismatch, QuotaExceeded
 from repro.service.events import SSE_HEADERS, format_sse, is_terminal_event
+from repro.service.metrics import render_service_metrics
 from repro.service.tenants import Tenant
 
 __all__ = ["ApiError", "create_app", "AsgiHTTPServer", "serve_asgi"]
+
+_log = get_logger("service.http")
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "pyetrify_http_requests_total",
+    "HTTP requests by normalized route, method and status",
+    labelnames=("route", "method", "status"),
+)
+_HTTP_LATENCY = REGISTRY.histogram(
+    "pyetrify_http_request_duration_seconds",
+    "HTTP request wall-clock latency by normalized route",
+    labelnames=("route",),
+)
+_TENANT_REQUESTS = REGISTRY.counter(
+    "pyetrify_tenant_requests_total",
+    "Authenticated requests by tenant",
+    labelnames=("tenant",),
+)
+_SSE_SUBSCRIBERS = REGISTRY.gauge(
+    "pyetrify_sse_subscribers", "Live SSE event-stream subscribers"
+)
+
+_KNOWN_ROUTES = frozenset(
+    {
+        "/",
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/jobs",
+        "/tenants/me",
+        "/admin/stats",
+        "/admin/tenants",
+    }
+)
+
+
+def _route_label(route: str) -> str:
+    """Collapse path parameters so metric label cardinality stays fixed."""
+    if route.startswith("/jobs/"):
+        return "/jobs/{id}/events" if route.endswith("/events") else "/jobs/{id}"
+    if route.startswith("/results/"):
+        return "/results/{fingerprint}"
+    return route if route in _KNOWN_ROUTES else "other"
 
 _MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Long-poll waits are capped so a stuck client cannot pin a slot forever.
@@ -158,6 +206,12 @@ class _Request:
             for key, value in scope.get("headers") or []
         }
         self.body = body
+        # The correlation id: the client's X-Request-Id if it sent one
+        # (bounded — it becomes a response header and a log field),
+        # otherwise freshly minted.  Echoed on the response, stamped
+        # onto submitted jobs, carried into progress heartbeats.
+        header_id = self.headers.get("x-request-id", "").strip()
+        self.id = header_id[:64] if header_id else uuid.uuid4().hex[:16]
 
     def json_body(self) -> Dict[str, object]:
         if not self.body:
@@ -195,6 +249,25 @@ class _Request:
             raise ApiError.bad_request(f"query parameter {name!r} must be a number")
 
 
+class _ObservedSend:
+    """ASGI ``send`` wrapper: echoes ``X-Request-Id``, records the status."""
+
+    __slots__ = ("_send", "request_id", "status")
+
+    def __init__(self, send, request_id: str) -> None:
+        self._send = send
+        self.request_id = request_id
+        self.status: Optional[int] = None
+
+    async def __call__(self, message) -> None:
+        if message["type"] == "http.response.start":
+            self.status = int(message["status"])
+            headers = list(message.get("headers") or [])
+            headers.append((b"x-request-id", self.request_id.encode("latin-1")))
+            message = dict(message, headers=headers)
+        await self._send(message)
+
+
 class _ServiceApp:
     """The ASGI application over one :class:`EncodingService`."""
 
@@ -215,17 +288,43 @@ class _ServiceApp:
         versioned = path == "/v1" or path.startswith("/v1/")
         route = path[3:] if versioned else path
         route = route or "/"
+        observed = _ObservedSend(send, request.id)
+        started = time.perf_counter()
+        span_event(
+            "http.request", "b", request.id,
+            method=request.method, path=request.raw_path,
+        )
         try:
             if body is None:
                 raise ApiError.bad_request(
                     f"request body exceeds {_MAX_BODY_BYTES} bytes"
                 )
-            await self._dispatch(request, route, versioned, receive, send)
+            await self._dispatch(request, route, versioned, receive, observed)
         except ApiError as error:
-            await self._send_error(send, error, versioned, route)
+            await self._send_error(observed, error, versioned, route)
         except Exception as error:  # pragma: no cover - defensive catch-all
             fallback = ApiError(500, "internal", f"{type(error).__name__}: {error}")
-            await self._send_error(send, fallback, versioned, route)
+            await self._send_error(observed, fallback, versioned, route)
+        finally:
+            elapsed = time.perf_counter() - started
+            # a request that ended without a response start (client gone
+            # mid-stream) is accounted under status 0
+            status = observed.status if observed.status is not None else 0
+            label = _route_label(route)
+            _HTTP_REQUESTS.labels(
+                route=label, method=request.method, status=str(status)
+            ).inc()
+            _HTTP_LATENCY.labels(route=label).observe(elapsed)
+            span_event("http.request", "e", request.id, status=status)
+            _log.log(
+                "info" if self.verbose else "debug",
+                "request",
+                id=request.id,
+                method=request.method,
+                path=request.raw_path,
+                status=status,
+                seconds=round(elapsed, 6),
+            )
 
     async def _lifespan(self, receive, send) -> None:  # pragma: no cover - uvicorn only
         while True:
@@ -282,6 +381,15 @@ class _ServiceApp:
         await send({"type": "http.response.start", "status": status, "headers": headers})
         await send({"type": "http.response.body", "body": blob})
 
+    async def _send_text(self, send, status: int, text: str) -> None:
+        blob = text.encode("utf-8")
+        headers = [
+            (b"content-type", b"text/plain; version=0.0.4; charset=utf-8"),
+            (b"content-length", str(len(blob)).encode("ascii")),
+        ]
+        await send({"type": "http.response.start", "status": status, "headers": headers})
+        await send({"type": "http.response.body", "body": blob})
+
     async def _send_error(
         self, send, error: ApiError, versioned: bool, route: str = "/"
     ) -> None:
@@ -300,6 +408,9 @@ class _ServiceApp:
         tenant = await self._call(self.service.tenants.authenticate, request.api_key())
         if tenant is None:
             raise ApiError.unauthorized()
+        _TENANT_REQUESTS.labels(
+            tenant="anonymous" if tenant.anonymous else tenant.name
+        ).inc()
         return tenant
 
     async def _require_admin(self, request: _Request) -> Tenant:
@@ -328,6 +439,11 @@ class _ServiceApp:
             await self._authenticate(request)
             stats = await self._call(self.service.stats)
             await self._send_json(send, 200, stats, legacy)
+            return
+        if versioned and route == "/metrics" and method == "GET":
+            await self._authenticate(request)
+            text = await self._call(render_service_metrics, self.service)
+            await self._send_text(send, 200, text)
             return
         if route == "/jobs" and method == "POST":
             await self._post_job(request, send, legacy)
@@ -375,15 +491,22 @@ class _ServiceApp:
             raise ApiError.rate_limited(
                 f"rate limit exceeded for tenant {tenant.name!r}", decision.retry_after
             )
-        outcome = await self._call(self._submit_body, body, tenant)
+        outcome = await self._call(self._submit_body, body, tenant, request.id)
         status = 200 if outcome["cached"] else 202
         await self._send_json(send, status, outcome, legacy)
 
-    def _submit_body(self, body: Dict[str, object], tenant: Tenant) -> Dict[str, object]:
+    def _submit_body(
+        self,
+        body: Dict[str, object],
+        tenant: Tenant,
+        request_id: Optional[str] = None,
+    ) -> Dict[str, object]:
         """Validate one submission body and run it through the facade.
 
         Runs in the executor (parsing ``.g`` text and fingerprinting are
         CPU-ish); raises :class:`ApiError` for every client fault.
+        ``request_id`` travels onto the job record so the worker's
+        progress heartbeats correlate back to this HTTP request.
         """
         from repro.service import settings_from_dict
         from repro.stg.parser import parse_g
@@ -436,6 +559,7 @@ class _ServiceApp:
                     tenant=tenant_name,
                     expected_fingerprint=expected_fp,
                     quota_active_jobs=tenant.quota_active_jobs,
+                    request_id=request_id,
                 )
             else:
                 table = body.get("table", "table2")
@@ -450,6 +574,7 @@ class _ServiceApp:
                         tenant=tenant_name,
                         expected_fingerprint=expected_fp,
                         quota_active_jobs=tenant.quota_active_jobs,
+                        request_id=request_id,
                     )
                 except KeyError as error:
                     raise ApiError.bad_request(
@@ -545,6 +670,7 @@ class _ServiceApp:
         loop = asyncio.get_running_loop()
         disconnected = asyncio.ensure_future(self._until_disconnect(receive))
         last_beat = loop.time()
+        _SSE_SUBSCRIBERS.inc()
         try:
             while True:
                 events = await self._call(self.service.queue.events_for, job_id, after)
@@ -575,6 +701,7 @@ class _ServiceApp:
                     last_beat = loop.time()
                 await asyncio.sleep(_EVENT_POLL_INTERVAL)
         finally:
+            _SSE_SUBSCRIBERS.dec()
             disconnected.cancel()
 
     @staticmethod
@@ -777,8 +904,8 @@ class AsgiHTTPServer:
         }
         connection = header_map.get(b"connection", b"").lower()
         keep_alive = connection != b"close" and scope["http_version"] != "1.0"
-        if self.verbose:
-            print(f"{method} {target}")
+        # the structured per-request access log (status, latency, id)
+        # lives in the app's __call__; nothing to print here
         return scope, body, keep_alive
 
     async def _run_app(self, scope, body, reader, writer, keep_alive: bool) -> bool:

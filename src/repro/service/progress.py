@@ -1,0 +1,88 @@
+"""Mid-solve progress heartbeats into the durable ``job_events`` feed.
+
+The worker installs a :class:`JobProgressEmitter` as the solve's
+progress hook (:mod:`repro.obs.progress`); every record the solver emits
+becomes a ``progress`` row in the queue's ``job_events`` table, which
+the HTTP front streams over SSE / long-poll exactly like the lifecycle
+events.  ``progress`` is not in
+:data:`repro.service.queue.FINAL_STATUSES`, so streams treat it as a
+non-terminal update automatically.
+
+The emitter opens its *own* sqlite connection (the solve may run in a
+forked pool worker — WAL journaling makes concurrent cross-process
+writes safe) and defends the solve from itself twice over: records are
+throttled to one per ``min_interval`` seconds and capped at
+``max_events`` per job, and any database error is swallowed — progress
+is telemetry, never control flow.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from typing import Dict, Optional
+
+from repro.service.backend import connect_sqlite
+
+__all__ = ["JobProgressEmitter", "PROGRESS_EVENT"]
+
+#: Event name of heartbeat rows (distinct from every job status).
+PROGRESS_EVENT = "progress"
+
+
+class JobProgressEmitter:
+    """Progress hook writing throttled heartbeats for one job.
+
+    Picklable by construction spec — the worker payload carries
+    ``(queue_path, job_id, request_id)`` and the emitter is built inside
+    the worker process.
+    """
+
+    def __init__(
+        self,
+        queue_path: str,
+        job_id: str,
+        request_id: Optional[str] = None,
+        min_interval: float = 0.5,
+        max_events: int = 500,
+    ) -> None:
+        self.queue_path = queue_path
+        self.job_id = job_id
+        self.request_id = request_id
+        self.min_interval = min_interval
+        self.max_events = max_events
+        self.emitted = 0
+        self.dropped = 0
+        self._last = 0.0
+        self._conn: Optional[sqlite3.Connection] = None
+
+    def __call__(self, record: Dict[str, object]) -> None:
+        now = time.time()
+        if self.emitted >= self.max_events or now - self._last < self.min_interval:
+            self.dropped += 1
+            return
+        if self.request_id is not None:
+            record.setdefault("request_id", self.request_id)
+        try:
+            if self._conn is None:
+                self._conn = connect_sqlite(self.queue_path)
+                self._conn.isolation_level = None  # autocommit single INSERTs
+            self._conn.execute(
+                "INSERT INTO job_events(job_id, event, detail, created_at) "
+                "VALUES(?, ?, ?, ?)",
+                (self.job_id, PROGRESS_EVENT, json.dumps(record, sort_keys=True), now),
+            )
+        except sqlite3.Error:
+            self.dropped += 1
+            return
+        self.emitted += 1
+        self._last = now
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - best effort
+                pass
+            self._conn = None

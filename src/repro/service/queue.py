@@ -89,11 +89,12 @@ CREATE INDEX IF NOT EXISTS idx_job_events_job ON job_events(job_id, seq);
 _MIGRATIONS = (
     ("jobs", "tenant", "TEXT"),
     ("jobs", "claimed_by", "TEXT"),
+    ("jobs", "request_id", "TEXT"),
 )
 
 _COLUMNS = (
     "id, fingerprint, name, request, status, attempts, "
-    "submitted_at, started_at, finished_at, error, tenant, claimed_by"
+    "submitted_at, started_at, finished_at, error, tenant, claimed_by, request_id"
 )
 
 
@@ -113,6 +114,7 @@ class JobRecord:
     error: Optional[str] = None
     tenant: Optional[str] = None
     claimed_by: Optional[str] = None
+    request_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -127,6 +129,7 @@ class JobRecord:
             "error": self.error,
             "tenant": self.tenant,
             "claimed_by": self.claimed_by,
+            "request_id": self.request_id,
         }
 
 
@@ -164,6 +167,7 @@ def _record(row) -> JobRecord:
         error=row[9],
         tenant=row[10],
         claimed_by=row[11],
+        request_id=row[12],
     )
 
 
@@ -230,6 +234,7 @@ class JobQueue:
         name: str,
         request: Dict[str, object],
         tenant: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> str:
         """Enqueue a job; returns its id.
 
@@ -240,6 +245,11 @@ class JobQueue:
         deliberately do *not* coalesce onto each other's active jobs
         (job visibility is tenant-scoped); they still dedupe through the
         content-addressed result store the moment the first run lands.
+
+        ``request_id`` is the HTTP request id that caused the enqueue
+        (a coalesced duplicate keeps the original's), stamped onto the
+        row so one id links front access log, job record and worker
+        spans.
         """
         with self._tx():
             row = self._conn.execute(
@@ -253,8 +263,8 @@ class JobQueue:
                 return row[0]
             job_id = uuid.uuid4().hex
             self._conn.execute(
-                "INSERT INTO jobs(id, fingerprint, name, request, status, submitted_at, tenant) "
-                "VALUES(?, ?, ?, ?, 'pending', ?, ?)",
+                "INSERT INTO jobs(id, fingerprint, name, request, status, submitted_at, "
+                "tenant, request_id) VALUES(?, ?, ?, ?, 'pending', ?, ?, ?)",
                 (
                     job_id,
                     fingerprint,
@@ -262,6 +272,7 @@ class JobQueue:
                     json.dumps(request, sort_keys=True),
                     time.time(),
                     tenant,
+                    request_id,
                 ),
             )
             self._emit(job_id, "pending", "submitted")

@@ -40,13 +40,26 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait as fut
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Optional
 
-from repro.engine.batch import BatchItem, _encode_one, resolve_engine
+from repro.engine.batch import BatchItem, _encode_one, _obs_envelope, resolve_engine
+from repro.obs import REGISTRY, get_logger
 from repro.service.fingerprint import settings_from_dict
 from repro.service.queue import JobQueue, JobRecord
 from repro.service.store import ResultStore
 from repro.stg.parser import parse_g
 
 __all__ = ["WorkerPool"]
+
+_log = get_logger("service.workers")
+
+_CLAIM_LATENCY = REGISTRY.histogram(
+    "pyetrify_claim_latency_seconds",
+    "Queue wait between job submission and worker claim",
+)
+_JOBS_PROCESSED = REGISTRY.counter(
+    "pyetrify_jobs_processed_total",
+    "Jobs finished by this process's worker pool, by stored status",
+    labelnames=("status",),
+)
 
 
 class WorkerPool:
@@ -109,6 +122,7 @@ class WorkerPool:
         self.jobs_retried = 0
         self.dispatch_errors = 0
         self.last_error: Optional[str] = None
+        self.search_jobs_clamps = 0
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "WorkerPool":
@@ -223,7 +237,10 @@ class WorkerPool:
             self._note_error(error)
             self._stop.wait(self.poll_interval)
             return None
-        return claimed[0] if claimed else None
+        if claimed:
+            _CLAIM_LATENCY.observe(max(0.0, time.time() - claimed[0].submitted_at))
+            return claimed[0]
+        return None
 
     def _payload(self, job: JobRecord):
         """The ``_encode_one`` payload for a job, or ``None`` after failing it.
@@ -237,7 +254,10 @@ class WorkerPool:
             max_states = job.request.get("max_states")
             engine = resolve_engine(settings)
             settings = self._sharding_settings(settings, job.request.get("search_jobs"))
-            return (stg, settings, True, max_states, True, self.timeout, engine)
+            obs = _obs_envelope(
+                progress=(self.queue.path, job.id, job.request_id)
+            )
+            return (stg, settings, True, max_states, True, self.timeout, engine, obs)
         except Exception as error:
             self._finish(job, "failed", f"invalid persisted request: {error}")
             return None
@@ -268,6 +288,17 @@ class WorkerPool:
                 requested = self.search_jobs if self.search_jobs is not None else 1
             budget = max(self.jobs, os.cpu_count() or 1, self.search_jobs or 1)
             effective = max(1, min(int(requested), budget // self.jobs))
+            if effective < int(requested):
+                # Never silent: the requester asked for more in-solve
+                # parallelism than the service budget affords.
+                self.search_jobs_clamps += 1
+                _log.warning(
+                    "search_jobs_clamped",
+                    requested=int(requested),
+                    effective=effective,
+                    jobs=self.jobs,
+                    budget=budget,
+                )
         if effective == settings.search_jobs:
             return settings
         return dataclasses.replace(settings, search_jobs=effective)
@@ -293,6 +324,7 @@ class WorkerPool:
         except Exception as finish_error:
             self._note_error(finish_error)
             return
+        _JOBS_PROCESSED.labels(status=stored).inc()
         if stored == "pending":
             self.jobs_retried += 1
         elif stored == "done":
@@ -307,6 +339,21 @@ class WorkerPool:
         self.last_error = f"{type(error).__name__}: {error}"
 
     # -- accounting -----------------------------------------------------
+    def effective_search_jobs(self) -> int:
+        """The in-solve width the server default actually yields.
+
+        What :meth:`_sharding_settings` would grant a job with no
+        explicit width: 1 on the serial path, else the server default
+        capped by the pool budget.  Surfaced in ``/v1/stats`` so
+        operators see effective parallelism, not just the configured
+        knob.
+        """
+        if self.jobs == 1 and self.search_jobs is None:
+            return 1
+        requested = self.search_jobs if self.search_jobs is not None else 1
+        budget = max(self.jobs, os.cpu_count() or 1, self.search_jobs or 1)
+        return max(1, min(int(requested), budget // self.jobs))
+
     def stats(self) -> Dict[str, object]:
         """Throughput counters and utilisation of the worker slots."""
         elapsed = (
@@ -319,6 +366,8 @@ class WorkerPool:
             "running": self.running,
             "timeout": self.timeout,
             "search_jobs": self.search_jobs,
+            "effective_search_jobs": self.effective_search_jobs(),
+            "search_jobs_clamps": self.search_jobs_clamps,
             "done": self.jobs_done,
             "failed": self.jobs_failed,
             "timed_out": self.jobs_timeout,

@@ -40,6 +40,7 @@ from typing import Dict, Optional
 
 from repro.bdd.bdd import Node
 from repro.core.solver import EncodingResult, SolverSettings, solve_csc
+from repro.obs import span
 from repro.petri.reachability import StateSpaceLimitExceeded
 from repro.stg.state_graph import StateGraph
 from repro.stg.stg import STG
@@ -255,10 +256,12 @@ def symbolic_encode(
         core_budget if core_budget is not None else DEFAULT_CORE_BUDGET, hard_cap
     )
     started = time.perf_counter()
-    if ssg is None:
-        ssg = SymbolicStateGraph(stg)
-    census = ssg.census()
-    report = detect_csc_conflicts(ssg, witness_limit=witness_limit)
+    with span("symbolic.census", name=stg.name):
+        if ssg is None:
+            ssg = SymbolicStateGraph(stg)
+        census = ssg.census()
+    with span("symbolic.detect", name=stg.name):
+        report = detect_csc_conflicts(ssg, witness_limit=witness_limit)
 
     mode = "symbolic"
     result: Optional[EncodingResult] = None
@@ -266,12 +269,15 @@ def symbolic_encode(
     if not report.csc_holds:
         mode = "symbolic-only"
         if hybrid and settings.max_signals > 0:
-            core = conflict_core(ssg, report.conflict_states)
-            report.core_states = ssg.bdd.sat_count(core, ssg.unprimed_levels)
+            with span("symbolic.core", name=stg.name):
+                core = conflict_core(ssg, report.conflict_states)
+                report.core_states = ssg.bdd.sat_count(core, ssg.unprimed_levels)
             if report.core_states <= solver_budget:
-                sg = materialize_core(ssg, core, max_states=solver_budget)
+                with span("symbolic.materialize", name=stg.name):
+                    sg = materialize_core(ssg, core, max_states=solver_budget)
                 materialized = sg.num_states
-                result = solve_csc(sg, settings)
+                with span("symbolic.solve", name=stg.name):
+                    result = solve_csc(sg, settings)
                 mode = "hybrid"
     return SymbolicOutcome(
         stg=stg,
