@@ -1,6 +1,6 @@
 """Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Five suites, selected by ``--suite``:
+Six suites, selected by ``--suite``:
 
 ``table2`` (default)
     Runs the full Table-2 sweep three ways via
@@ -38,6 +38,17 @@ Five suites, selected by ``--suite``:
     in-run, and the *disabled* sweep wall-clock is gated against the
     committed baseline via the legacy yardstick — so instrumentation
     can never quietly tax the default path.
+
+``kernel``
+    Runs the kernel sweep via
+    :func:`benchmarks.bench_kernel.run_kernel_benchmark` (refreshing
+    ``BENCH_kernel.json``): the Table-2 library on the big-int oracle
+    kernel vs the vectorized bit-plane kernel, plus the pipe16/pipe24
+    symbolic censuses on the rebuilt BDD core.  Fails unless the two
+    kernel sweeps are byte-identical, fails on any per-row
+    result-fingerprint or census state-count drift against the
+    committed baseline, and gates both the planes sweep and the census
+    wall-clock — so neither fast path can quietly regress or drift.
 
 ``swarm``
     Runs the concurrent-client service sweep via
@@ -78,6 +89,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_batch_engine import RECORD_PATH, run_batch_benchmark  # noqa: E402
+from bench_kernel import (  # noqa: E402
+    RECORD_PATH as KERNEL_RECORD_PATH,
+    run_kernel_benchmark,
+)
 from bench_obs import (  # noqa: E402
     MAX_OVERHEAD_RATIO,
     RECORD_PATH as OBS_RECORD_PATH,
@@ -247,6 +262,82 @@ def check_search(baseline_path: pathlib.Path, tolerance: float) -> int:
     return 0
 
 
+def check_kernel(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_kernel_benchmark()
+
+    if not record["identical"]:
+        print("FAIL: planes-kernel sweep is no longer byte-identical to the big-int oracle")
+        return 1
+
+    baseline_rows = {row["name"]: row for row in baseline["per_stg"]}
+    new_rows = {row["name"]: row for row in record["per_stg"]}
+    drifted = False
+    for name in baseline_rows.keys() - new_rows.keys():
+        print(f"FAIL: Table-2 row {name} disappeared from the kernel sweep")
+        drifted = True
+    for row in record["per_stg"]:
+        base_row = baseline_rows.get(row["name"])
+        if base_row is None:
+            print(f"note: new kernel-sweep row {row['name']} (no baseline fingerprint)")
+            continue
+        if row["fingerprint_sha256"] != base_row["fingerprint_sha256"]:
+            print(
+                f"FAIL: result-fingerprint drift on {row['name']}: "
+                f"baseline {base_row['fingerprint_sha256'][:12]}… -> "
+                f"now {row['fingerprint_sha256'][:12]}…"
+            )
+            drifted = True
+    baseline_census = {row["name"]: row for row in baseline["census"]}
+    for row in record["census"]:
+        base_row = baseline_census.get(row["name"])
+        if base_row is not None and row["states"] != base_row["states"]:
+            print(
+                f"FAIL: census state-count drift on {row['name']}: "
+                f"baseline {base_row['states']} -> now {row['states']}"
+            )
+            drifted = True
+    if drifted:
+        return 1
+
+    ok = _gate(
+        "planes sweep",
+        float(baseline["legacy_serial_seconds"]),
+        float(record["legacy_serial_seconds"]),
+        float(baseline["planes_sweep_seconds"]),
+        float(record["planes_sweep_seconds"]),
+        tolerance,
+    )
+    census_total_base = sum(float(row["seconds"]) for row in baseline["census"])
+    census_total_new = sum(float(row["seconds"]) for row in record["census"])
+    ok = (
+        _gate(
+            "BDD census (pipe16+pipe24)",
+            float(baseline["legacy_serial_seconds"]),
+            float(record["legacy_serial_seconds"]),
+            census_total_base,
+            census_total_new,
+            tolerance,
+        )
+        and ok
+    )
+    print(
+        f"slowest row {record['slowest_row']}: bigint {record['slowest_bigint_cpu']}s "
+        f"-> planes {record['slowest_planes_cpu']}s "
+        f"({record['slowest_row_speedup']}x, {record['plane_backend']} backend); "
+        "census "
+        + ", ".join(
+            f"{row['name']} {row['seconds']}s ({row['census_speedup']}x vs legacy core)"
+            for row in record["census"]
+        )
+        + f"; refreshed {KERNEL_RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
 def check_obs(baseline_path: pathlib.Path, tolerance: float) -> int:
     baseline = json.loads(baseline_path.read_text())
     record = run_obs_benchmark()
@@ -335,7 +426,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=["table2", "table1", "search", "swarm", "obs"],
+        choices=["table2", "table1", "search", "swarm", "obs", "kernel"],
         default="table2",
         help="which sweep to gate (default: the Table-2 engine sweep)",
     )
@@ -367,6 +458,9 @@ def main(argv=None) -> int:
     if args.suite == "obs":
         baseline_path = args.baseline or OBS_RECORD_PATH
         return check_obs(baseline_path, args.tolerance)
+    if args.suite == "kernel":
+        baseline_path = args.baseline or KERNEL_RECORD_PATH
+        return check_kernel(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
     return check_table2(baseline_path, args.tolerance)
 

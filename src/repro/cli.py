@@ -63,6 +63,7 @@ def _solver_settings(args: argparse.Namespace) -> SolverSettings:
         max_signals=args.max_signals if args.max_signals is not None else 32,
         verbose=args.verbose,
         search_jobs=args.search_jobs if getattr(args, "search_jobs", None) is not None else 1,
+        kernel=getattr(args, "kernel", None) or "auto",
     )
 
 
@@ -82,7 +83,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
     stg = _load_stg(args)
     if stg is None:
         return 2
-    census = symbolic_census(stg)
+    census = symbolic_census(stg, reorder=args.reorder)
     row = census.as_dict()
     cache = row.pop("cache")
     row["cache_hit_rate"] = cache.get("hit_rate")
@@ -98,7 +99,7 @@ def _cmd_check_csc(args: argparse.Namespace) -> int:
     stg = _load_stg(args)
     if stg is None:
         return 2
-    report = symbolic_check_csc(stg, witness_limit=args.witnesses)
+    report = symbolic_check_csc(stg, witness_limit=args.witnesses, reorder=args.reorder)
     row = report.as_dict()
     witnesses = row.pop("witnesses")
     width = max(len(key) for key in row)
@@ -214,6 +215,7 @@ def _cmd_bench_all(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         engine=args.engine,
         search_jobs=args.search_jobs,
+        kernel=getattr(args, "kernel", None),
     )
     name_width = max((len(item.name) for item in result.items), default=4)
     for item in result.items:
@@ -407,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-states", type=int, default=200000, help="bound on explicit state-graph size")
         sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
         sub.add_argument("--search-jobs", type=int, default=None, metavar="N", help="shard each insertion search across N workers (results identical to serial; in --all mode clamped so --jobs x N fits the machine)")
+        sub.add_argument("--kernel", choices=["auto", "bigint", "planes"], default=None, help="block-evaluation kernel: bit-plane batches (planes), the big-integer oracle (bigint), or planes when numpy is importable (auto, the default); results are byte-identical either way")
         sub.add_argument("--verbose", action="store_true", help="log per-insertion solver progress (debug level)")
         sub.add_argument("-q", "--quiet", action="store_true", help="log errors only")
 
@@ -419,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("file", nargs="?", help="input .g file")
         sub.add_argument("--benchmark", metavar="NAME", help="use a built-in benchmark instead of a file")
         sub.add_argument("--table", choices=["table1", "table2"], default="table2", help="library table of --benchmark")
+        sub.add_argument("--reorder", action="store_true", help="enable dynamic BDD variable reordering (sifting); verdicts are unchanged, only node-table shape and wall-clock")
 
     census = subparsers.add_parser(
         "census", help="symbolic (BDD) state-space census — exact state count without enumeration"

@@ -449,8 +449,16 @@ class IndexedStateGraph:
                 frontier |= grown
             components.append(component)
             remaining &= ~component
-        components.sort(key=lambda c: (c.bit_count(), repr(self.repr_key(c))))
-        return components
+        # Decorate-sort-undecorate on precomputed key tuples.  The repr
+        # *string* (not the repr list) stays the secondary key: it is the
+        # canonical order of the object-space oracle, and a string that is
+        # a prefix of another compares differently from the repr-list form.
+        keyed = [
+            (component.bit_count(), repr(self.repr_key(component)), component)
+            for component in components
+        ]
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return [item[2] for item in keyed]
 
     # ------------------------------------------------------------------
     # enabled-signal signatures (CSC conflict detection)
@@ -637,6 +645,13 @@ class EvalKernel:
     :class:`IndexedEvaluator` owns a kernel and layers the per-search
     memo (and the object-space conversions, which do need the state
     objects) on top of it.
+
+    ``impl`` selects the batch implementation :func:`evaluate_candidates`
+    dispatches to: ``"bigint"`` runs :meth:`evaluate` per mask (the
+    conformance oracle), ``"planes"`` routes whole batches through the
+    vectorized bit-plane kernel of :mod:`repro.core.planes`.  Both
+    produce byte-identical evaluations, so the knob is performance-only
+    and fingerprint-irrelevant.
     """
 
     __slots__ = (
@@ -651,6 +666,8 @@ class EvalKernel:
         "second_masks",
         "pair_count",
         "count_input_delays",
+        "impl",
+        "_plane",
     )
 
     def __init__(
@@ -658,6 +675,7 @@ class EvalKernel:
         index: "IndexedStateGraph",
         conflict_pairs: Sequence[Tuple[int, int]],
         count_input_delays: bool,
+        impl: str = "bigint",
     ) -> None:
         self.num_states = index.num_states
         self.full_mask = index.full_mask
@@ -680,6 +698,26 @@ class EvalKernel:
         self.first_sides = list(grouped)
         self.second_masks = [grouped[first] for first in self.first_sides]
         self.count_input_delays = count_input_delays
+        self.impl = impl
+        self._plane = None
+
+    def batch_kernel(self):
+        """The lazily-built :class:`~repro.core.planes.PlaneKernel`, or
+        ``None`` when this kernel runs big-int only.
+
+        Built on first use so a search that never batches (tiny graphs,
+        memo-only merges) pays nothing; benign under a thread race (the
+        build is idempotent, last assignment wins).
+        """
+        if self.impl != "planes":
+            return None
+        plane = self._plane
+        if plane is None:
+            from repro.core.planes import PlaneKernel
+
+            plane = PlaneKernel(self)
+            self._plane = plane
+        return plane
 
     def evaluate(self, mask: int) -> Optional["IndexedEvaluation"]:
         """Evaluate a block bitmask (``None`` for degenerate blocks)."""
@@ -820,7 +858,14 @@ def evaluate_candidates(
     stateless (all state lives in ``kernel``), and position-aligned with
     its input — ``result[i]`` is the evaluation of ``masks[i]`` — so the
     caller can merge shards back in generation order.
+
+    Dispatches on ``kernel.impl``: a planes kernel evaluates the whole
+    batch through the bit-plane lanes of :mod:`repro.core.planes`, the
+    big-int kernel runs the scalar loop.  Results are byte-identical.
     """
+    plane = kernel.batch_kernel()
+    if plane is not None:
+        return plane.evaluate_batch(masks)
     evaluate = kernel.evaluate
     return [evaluate(mask) for mask in masks]
 
@@ -885,7 +930,11 @@ class IndexedEvaluator:
         "misses",
     )
 
-    def __init__(self, sg, conflicts, allow_input_delay: bool) -> None:
+    def __init__(
+        self, sg, conflicts, allow_input_delay: bool, kernel_impl: str = "auto"
+    ) -> None:
+        from repro.core.planes import resolve_kernel
+
         self.index = indexed_state_graph(sg)
         position = self.index.position
         conflict_pairs = [
@@ -893,7 +942,10 @@ class IndexedEvaluator:
             for conflict in conflicts
         ]
         self.kernel = EvalKernel(
-            self.index, conflict_pairs, count_input_delays=not allow_input_delay
+            self.index,
+            conflict_pairs,
+            count_input_delays=not allow_input_delay,
+            impl=resolve_kernel(kernel_impl),
         )
         self.memo: Dict[int, Optional[IndexedEvaluation]] = {}
         self.hits = 0

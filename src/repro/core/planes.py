@@ -1,0 +1,527 @@
+"""Bit-plane batch evaluation: the vectorized twin of ``EvalKernel``.
+
+:meth:`repro.core.indexed.EvalKernel.evaluate` costs one candidate block
+at a time with Python big-int arithmetic.  This module evaluates up to
+64 candidates *per pass* by transposing the problem: instead of one
+``n``-bit integer per block, it keeps one 64-bit **lane word per state**
+— bit ``w`` of plane row ``i`` says "state ``i`` belongs to candidate
+``w``".  Every step of the Figure-4 cost model (MWFEB forward closures,
+stable-side derivation, solved-pair counting, trigger/delay accounting)
+then becomes whole-plane bitwise algebra shared by all lanes, with
+per-lane results read back by vertical popcounts.
+
+Two interchangeable backends implement the same algorithm:
+
+``numpy``
+    Planes are 1-D ``uint64`` arrays (explicitly little-endian so the
+    byte-level unpack/pack steps are host-independent); closures are
+    fixpoints of gather + ``np.bitwise_or.reduceat`` over CSR adjacency,
+    and vertical popcounts are ``np.unpackbits`` column sums.
+
+``pure``
+    Planes are ``array('Q')`` rows driven by plain loops — the fallback
+    when numpy is not importable, so ``kernel="planes"`` never requires
+    a third-party dependency.  Same passes, same results.
+
+Both produce **byte-identical** :class:`~repro.core.indexed.IndexedEvaluation`
+records (side tables and all four cost fields) to the big-int oracle;
+the differential and conformance suites pin that equality.
+
+Kernel selection (:func:`resolve_kernel`) is performance-only: the
+``SolverSettings.kernel`` knob never enters the request fingerprint.
+``"auto"`` picks the plane kernel when numpy is importable and the
+big-int kernel otherwise (the pure backend is correct but exists for
+explicit opt-in and for proving the no-numpy path in CI).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional, Sequence
+
+from repro.core.cost import Cost
+from repro.utils.deadline import poll_deadline
+
+try:  # numpy is an optional accelerator (the ``fast`` extra), never a hard dep
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "KERNELS",
+    "PlaneKernel",
+    "numpy_available",
+    "resolve_kernel",
+]
+
+#: Valid values of ``SolverSettings.kernel``.
+KERNELS = ("auto", "bigint", "planes")
+
+_LANES = 64
+_ALL = (1 << _LANES) - 1
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used in this process."""
+    return _np is not None
+
+
+def resolve_kernel(name: str) -> str:
+    """Resolve a ``SolverSettings.kernel`` value to a concrete kernel.
+
+    ``"auto"`` means planes-when-numpy-is-importable: without numpy the
+    scalar big-int kernel beats the pure-Python plane backend on the
+    small batches the search generates, so auto never picks it.  An
+    explicit ``"planes"`` is honoured either way (pure backend without
+    numpy) — that is what the fallback CI leg runs.
+    """
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; expected one of {KERNELS}")
+    if name == "auto":
+        return "planes" if _np is not None else "bigint"
+    return name
+
+
+def _bit_lanes(word: int) -> List[int]:
+    """Set bit positions of a lane word."""
+    lanes = []
+    while word:
+        low = word & -word
+        lanes.append(low.bit_length() - 1)
+        word ^= low
+    return lanes
+
+
+class PlaneKernel:
+    """Precompiled plane-space view of one :class:`EvalKernel`.
+
+    Construction inverts the successor lists into predecessor CSR form
+    (the closure fixpoints gather over predecessors), flattens the
+    border-incident signal arcs into per-signal runs, and expands the
+    grouped conflict pairs back into aligned ``(first, second)`` index
+    arrays.  All of it is derived purely from the ``EvalKernel``
+    snapshot, so a ``PlaneKernel`` is as picklable and process-portable
+    as its parent and rides along with it into shard workers.
+    """
+
+    __slots__ = (
+        "num_states",
+        "full_mask",
+        "pair_count",
+        "count_input_delays",
+        "backend",
+        "_succ_lists",
+        "_pred_lists",
+        "_arcs_by_signal",
+        "_pairs",
+        "_input_signals",
+        "_np_tables",
+    )
+
+    def __init__(self, kernel) -> None:
+        n = kernel.num_states
+        self.num_states = n
+        self.full_mask = kernel.full_mask
+        self.pair_count = kernel.pair_count
+        self.count_input_delays = kernel.count_input_delays
+        self.backend = "numpy" if _np is not None else "pure"
+
+        succ: List[Sequence[int]] = list(kernel.succ_targets)
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for i, targets in enumerate(succ):
+            for t in targets:
+                preds[t].append(i)
+        self._succ_lists = succ
+        self._pred_lists = preds
+
+        # Signal arcs, grouped by signal id (reconstructed from the
+        # per-state incoming lists — the kernel keeps no flat arc table).
+        num_signals = len(kernel.signal_is_input)
+        arcs_by_signal: List[List] = [[] for _ in range(num_signals)]
+        for target, incoming in enumerate(kernel.in_sig_arcs):
+            for source, signal in incoming:
+                arcs_by_signal[signal].append((source, target))
+        self._arcs_by_signal = arcs_by_signal
+        self._input_signals = [
+            g for g, is_input in enumerate(kernel.signal_is_input) if is_input
+        ]
+
+        pairs: List = []
+        for idx, first in enumerate(kernel.first_sides):
+            second_mask = kernel.second_masks[idx]
+            while second_mask:
+                low = second_mask & -second_mask
+                pairs.append((first, low.bit_length() - 1))
+                second_mask ^= low
+        self._pairs = pairs
+
+        self._np_tables = self._build_np_tables() if _np is not None else None
+
+    # ------------------------------------------------------------------
+    # numpy precompiled tables
+    # ------------------------------------------------------------------
+    def _build_np_tables(self):
+        np = _np
+        n = self.num_states
+        # CSR with a dummy row ``n`` padding empty segments: reduceat has
+        # no identity element for empty slices (it returns the element at
+        # the offset), so every segment is made non-empty by pointing it
+        # at plane row ``n``, which is kept all-zero forever.
+        def csr(lists):
+            flat: List[int] = []
+            starts = np.empty(n, dtype=np.intp)
+            for i, members in enumerate(lists):
+                starts[i] = len(flat)
+                if members:
+                    flat.extend(members)
+                else:
+                    flat.append(n)
+            return np.asarray(flat, dtype=np.intp), starts
+
+        succ_flat, succ_starts = csr(self._succ_lists)
+        pred_flat, pred_starts = csr(self._pred_lists)
+
+        arc_src: List[int] = []
+        arc_tgt: List[int] = []
+        arc_starts = np.empty(len(self._arcs_by_signal), dtype=np.intp)
+        for g, arcs in enumerate(self._arcs_by_signal):
+            arc_starts[g] = len(arc_src)
+            for source, target in arcs:
+                arc_src.append(source)
+                arc_tgt.append(target)
+        if self._pairs:
+            pair_first = np.asarray([p[0] for p in self._pairs], dtype=np.intp)
+            pair_second = np.asarray([p[1] for p in self._pairs], dtype=np.intp)
+        else:
+            pair_first = pair_second = np.empty(0, dtype=np.intp)
+        return {
+            "succ_flat": succ_flat,
+            "succ_starts": succ_starts,
+            "pred_flat": pred_flat,
+            "pred_starts": pred_starts,
+            "arc_src": np.asarray(arc_src, dtype=np.intp),
+            "arc_tgt": np.asarray(arc_tgt, dtype=np.intp),
+            "arc_starts": arc_starts,
+            "input_sigs": np.asarray(self._input_signals, dtype=np.intp),
+            "pair_first": pair_first,
+            "pair_second": pair_second,
+        }
+
+    # ------------------------------------------------------------------
+    # batch entry point
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, masks: Sequence[int]) -> List[Optional[object]]:
+        """Evaluate ``masks``; ``result[i]`` matches ``masks[i]``.
+
+        Chunks of up to 64 masks share one plane pass; degenerate blocks
+        come back as ``None`` exactly as from the big-int kernel.
+        """
+        if self.num_states == 0:
+            return [None] * len(masks)
+        results: List[Optional[object]] = []
+        chunk_eval = (
+            self._evaluate_chunk_numpy
+            if self._np_tables is not None
+            else self._evaluate_chunk_pure
+        )
+        for start in range(0, len(masks), _LANES):
+            poll_deadline()
+            results.extend(chunk_eval(masks[start : start + _LANES]))
+        return results
+
+    # ------------------------------------------------------------------
+    # numpy backend
+    # ------------------------------------------------------------------
+    def _evaluate_chunk_numpy(self, masks: Sequence[int]):
+        from repro.core.indexed import IndexedEvaluation
+
+        np = _np
+        tables = self._np_tables
+        n = self.num_states
+        nbytes = (n + 7) // 8
+
+        # B: bit w of row i <=> state i is in candidate w.  Built by
+        # unpacking each mask into a column of a (n, 64) bit matrix and
+        # packing the rows into little-endian lane words.
+        bitcols = np.zeros((n, _LANES), dtype=np.uint8)
+        for w, mask in enumerate(masks):
+            bitcols[:, w] = np.unpackbits(
+                np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8),
+                bitorder="little",
+                count=n,
+            )
+        planes = np.zeros(n + 1, dtype="<u8")
+        planes[:n] = (
+            np.packbits(bitcols, axis=1, bitorder="little").view("<u8").ravel()
+        )
+        B = planes
+        C = np.bitwise_not(B)
+        C[n] = 0  # the dummy row must never seed anything
+
+        succ_flat = tables["succ_flat"]
+        succ_starts = tables["succ_starts"]
+        pred_flat = tables["pred_flat"]
+        pred_starts = tables["pred_starts"]
+
+        # MWFEB seeds: a block state with a successor outside the block
+        # (ER(x+)), a complement state with a successor inside (ER(x-)).
+        SP = np.zeros(n + 1, dtype="<u8")
+        SM = np.zeros(n + 1, dtype="<u8")
+        SP[:n] = B[:n] & np.bitwise_or.reduceat(C[succ_flat], succ_starts)
+        SM[:n] = C[:n] & np.bitwise_or.reduceat(B[succ_flat], succ_starts)
+
+        # Forward closures within each side: a state joins the border
+        # plane when any predecessor is already in it.
+        for domain, plane in ((B, SP), (C, SM)):
+            while True:
+                poll_deadline()
+                grown = plane[:n] | (
+                    domain[:n] & np.bitwise_or.reduceat(plane[pred_flat], pred_starts)
+                )
+                if np.array_equal(grown, plane[:n]):
+                    break
+                plane[:n] = grown
+
+        # Per-lane validity mirrors the big-int early-outs: a non-empty,
+        # non-full block with both exit borders non-empty.  Padding lanes
+        # (batch < 64) have empty B and self-invalidate.
+        valid = (
+            int(np.bitwise_or.reduce(B[:n]))
+            & (int(np.bitwise_and.reduce(B[:n])) ^ _ALL)
+            & int(np.bitwise_or.reduce(SP[:n]))
+            & int(np.bitwise_or.reduce(SM[:n]))
+        )
+        if not valid:
+            return [None] * len(masks)
+
+        S0p = B[:n] & ~SP[:n]
+        S1p = C[:n] & ~SM[:n]
+
+        # solved pairs: first and second endpoints on opposite stable sides
+        pair_first = tables["pair_first"]
+        if pair_first.size:
+            pair_second = tables["pair_second"]
+            solved = _np_vcount(
+                (S0p[pair_first] & S1p[pair_second])
+                | (S1p[pair_first] & S0p[pair_second])
+            )
+        else:
+            solved = np.zeros(_LANES, dtype=np.int64)
+
+        # trigger/delay accounting, one OR-reduction run per signal
+        arc_src = tables["arc_src"]
+        if arc_src.size:
+            arc_tgt = tables["arc_tgt"]
+            arc_starts = tables["arc_starts"]
+            sp_s, sp_t = SP[arc_src], SP[arc_tgt]
+            sm_s, sm_t = SM[arc_src], SM[arc_tgt]
+            entering_plus = np.bitwise_or.reduceat(sp_t & ~sp_s, arc_starts)
+            entering_minus = np.bitwise_or.reduceat(sm_t & ~sm_s, arc_starts)
+            delayed = np.bitwise_or.reduceat(
+                (sp_t & sm_s)
+                | (sp_s & S1p[arc_tgt])
+                | (sm_t & sp_s)
+                | (sm_s & S0p[arc_tgt]),
+                arc_starts,
+            )
+            triggers = (
+                _np_vcount(entering_plus)
+                + _np_vcount(entering_minus)
+                + _np_vcount(delayed)
+            )
+            input_sigs = tables["input_sigs"]
+            if self.count_input_delays and input_sigs.size:
+                input_delays = _np_vcount(delayed[input_sigs])
+            else:
+                input_delays = np.zeros(_LANES, dtype=np.int64)
+        else:
+            triggers = input_delays = np.zeros(_LANES, dtype=np.int64)
+
+        sizes = _np_vcount(B[:n])
+        plus_counts = _np_vcount(SP[:n])
+        minus_counts = _np_vcount(SM[:n])
+
+        # side tables: S0=0, SPLUS=1, S1=2, SMINUS=3 per state per lane
+        side_matrix = (
+            _np_unpack(SP[:n])
+            + _np_unpack(SM[:n])
+            + 2 * (1 - bitcols)
+        ).astype(np.uint8)
+
+        pair_count = self.pair_count
+        out: List[Optional[object]] = []
+        for w, mask in enumerate(masks):
+            if not (valid >> w) & 1:
+                out.append(None)
+                continue
+            cost = Cost(
+                unsolved_conflicts=pair_count - int(solved[w]),
+                input_delays=int(input_delays[w]),
+                trigger_estimate=int(triggers[w]),
+                border_size=int(plus_counts[w]) + int(minus_counts[w]),
+            )
+            out.append(
+                IndexedEvaluation(
+                    mask,
+                    int(sizes[w]),
+                    bytearray(side_matrix[:, w].tobytes()),
+                    cost,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # pure-Python backend (array('Q') planes)
+    # ------------------------------------------------------------------
+    def _evaluate_chunk_pure(self, masks: Sequence[int]):
+        from repro.core.indexed import IndexedEvaluation, S1, SMINUS, SPLUS
+
+        n = self.num_states
+        B = array("Q", bytes(8 * (n + 1)))
+        for w, mask in enumerate(masks):
+            lane_bit = 1 << w
+            m = mask
+            while m:
+                low = m & -m
+                B[low.bit_length() - 1] |= lane_bit
+                m ^= low
+        C = array("Q", (word ^ _ALL for word in B))
+        C[n] = 0
+
+        succ = self._succ_lists
+        preds = self._pred_lists
+        SP = array("Q", bytes(8 * (n + 1)))
+        SM = array("Q", bytes(8 * (n + 1)))
+        for i in range(n):
+            targets = succ[i]
+            if not targets:
+                continue
+            block = B[i]
+            if block:
+                acc = 0
+                for t in targets:
+                    acc |= C[t]
+                SP[i] = block & acc
+            comp = C[i]
+            if comp:
+                acc = 0
+                for t in targets:
+                    acc |= B[t]
+                SM[i] = comp & acc
+        for domain, plane in ((B, SP), (C, SM)):
+            changed = True
+            while changed:
+                poll_deadline()
+                changed = False
+                for t in range(n):
+                    dom = domain[t]
+                    if not dom:
+                        continue
+                    current = plane[t]
+                    if current == dom:
+                        continue  # saturated: nothing left to grow
+                    acc = 0
+                    for s in preds[t]:
+                        acc |= plane[s]
+                    grown = current | (dom & acc)
+                    if grown != current:
+                        plane[t] = grown
+                        changed = True
+
+        any_b = 0
+        all_b = _ALL
+        any_sp = 0
+        any_sm = 0
+        for i in range(n):
+            any_b |= B[i]
+            all_b &= B[i]
+            any_sp |= SP[i]
+            any_sm |= SM[i]
+        valid = any_b & (all_b ^ _ALL) & any_sp & any_sm
+        if not valid:
+            return [None] * len(masks)
+
+        S0p = [B[i] & (SP[i] ^ _ALL) for i in range(n)]
+        S1p = [C[i] & (SM[i] ^ _ALL) for i in range(n)]
+
+        solved = [0] * _LANES
+        for first, second in self._pairs:
+            word = (
+                (S0p[first] & S1p[second]) | (S1p[first] & S0p[second])
+            ) & valid
+            for lane in _bit_lanes(word):
+                solved[lane] += 1
+
+        triggers = [0] * _LANES
+        input_delays = [0] * _LANES
+        input_flags = set(self._input_signals)
+        count_inputs = self.count_input_delays
+        for g, arcs in enumerate(self._arcs_by_signal):
+            entering_plus = entering_minus = delayed = 0
+            for source, target in arcs:
+                sp_s, sp_t = SP[source], SP[target]
+                sm_s, sm_t = SM[source], SM[target]
+                entering_plus |= sp_t & (sp_s ^ _ALL)
+                entering_minus |= sm_t & (sm_s ^ _ALL)
+                delayed |= (
+                    (sp_t & sm_s)
+                    | (sp_s & S1p[target])
+                    | (sm_t & sp_s)
+                    | (sm_s & S0p[target])
+                )
+            for lane in _bit_lanes(entering_plus & valid):
+                triggers[lane] += 1
+            for lane in _bit_lanes(entering_minus & valid):
+                triggers[lane] += 1
+            delayed &= valid
+            for lane in _bit_lanes(delayed):
+                triggers[lane] += 1
+            if count_inputs and g in input_flags:
+                for lane in _bit_lanes(delayed):
+                    input_delays[lane] += 1
+
+        pair_count = self.pair_count
+        out: List[Optional[object]] = []
+        for w, mask in enumerate(masks):
+            if not (valid >> w) & 1:
+                out.append(None)
+                continue
+            lane_bit = 1 << w
+            side = bytearray(n)
+            size = border_plus = border_minus = 0
+            for i in range(n):
+                if B[i] & lane_bit:
+                    size += 1
+                    if SP[i] & lane_bit:
+                        side[i] = SPLUS
+                        border_plus += 1
+                elif SM[i] & lane_bit:
+                    side[i] = SMINUS
+                    border_minus += 1
+                else:
+                    side[i] = S1
+            cost = Cost(
+                unsolved_conflicts=pair_count - solved[w],
+                input_delays=input_delays[w],
+                trigger_estimate=triggers[w],
+                border_size=border_plus + border_minus,
+            )
+            out.append(IndexedEvaluation(mask, size, side, cost))
+        return out
+
+
+# ----------------------------------------------------------------------
+# numpy vertical helpers
+# ----------------------------------------------------------------------
+def _np_unpack(words):
+    """(k,) lane words -> (k, 64) bit matrix (little-endian bit order)."""
+    return _np.unpackbits(words.view(_np.uint8), bitorder="little").reshape(
+        -1, _LANES
+    )
+
+
+def _np_vcount(words):
+    """Per-lane popcount over a lane-word array: (k,) -> (64,) counts."""
+    if words.size == 0:
+        return _np.zeros(_LANES, dtype=_np.int64)
+    return _np_unpack(words).sum(axis=0, dtype=_np.int64)

@@ -130,6 +130,7 @@ def find_insertion_plan(
     settings: Optional[SearchSettings] = None,
     conflicts: Optional[Sequence[CSCConflict]] = None,
     search_jobs: int = 1,
+    kernel: str = "auto",
 ) -> Optional[InsertionPlan]:
     """Find the best valid insertion of one new state signal.
 
@@ -148,6 +149,10 @@ def find_insertion_plan(
     generation order, so the chosen plan is byte-identical to a serial
     search at any worker count.  The legacy (cache-disabled) path is the
     frozen differential oracle and always runs serially.
+
+    ``kernel`` selects the block-evaluation implementation of the
+    indexed path (see :mod:`repro.core.planes`); like ``search_jobs``
+    it never changes the chosen plan, only how fast it is found.
     """
     settings = settings or SearchSettings()
     if conflicts is None:
@@ -163,7 +168,7 @@ def find_insertion_plan(
 
     if engine_caches.caches_enabled():
         return _find_insertion_plan_indexed(
-            sg, signal, settings, conflicts, full_conflict_count, search_jobs
+            sg, signal, settings, conflicts, full_conflict_count, search_jobs, kernel
         )
     return _find_insertion_plan_legacy(
         sg, signal, settings, conflicts, full_conflict_count
@@ -347,6 +352,13 @@ def _evaluate_masks(evaluator, masks: Sequence[int], pool) -> None:
     if pool is not None and len(pending) >= pool.min_batch:
         for mask, evaluation in zip(pending, pool.evaluate_batch(pending)):
             evaluator.record(mask, evaluation)
+    elif len(pending) > 1 and evaluator.kernel.batch_kernel() is not None:
+        # no pool (or a batch below the round-trip threshold), but a
+        # batch-capable kernel: evaluate the whole batch in plane lanes
+        for mask, evaluation in zip(
+            pending, indexed.evaluate_candidates(evaluator.kernel, pending)
+        ):
+            evaluator.record(mask, evaluation)
     else:
         for mask in pending:
             evaluator.evaluate(mask)
@@ -359,6 +371,7 @@ def _find_insertion_plan_indexed(
     conflicts: Sequence[CSCConflict],
     full_conflict_count: int,
     search_jobs: int = 1,
+    kernel: str = "auto",
 ) -> Optional[InsertionPlan]:
     """The Figure-4 search on the integer-indexed fast path.
 
@@ -383,7 +396,10 @@ def _find_insertion_plan_indexed(
     index = indexed.indexed_state_graph(sg)
     num_states = index.num_states
     evaluator = indexed.IndexedEvaluator(
-        sg, conflicts, allow_input_delay=settings.allow_input_delay
+        sg,
+        conflicts,
+        allow_input_delay=settings.allow_input_delay,
+        kernel_impl=kernel,
     )
 
     seen_blocks: Set[int] = set()

@@ -53,6 +53,14 @@ class SolverSettings:
     (like ``verbose``).  ``encode_many`` clamps it by the pool-budget
     rule so STG-level ``jobs`` × ``search_jobs`` never oversubscribes
     the machine.
+
+    ``kernel`` picks the block-evaluation implementation of the indexed
+    search (:mod:`repro.core.planes`): ``"bigint"`` is the scalar
+    conformance oracle, ``"planes"`` the vectorized 64-lane bit-plane
+    kernel, and ``"auto"`` (default) planes-when-numpy-is-importable.
+    Like ``search_jobs`` it is fingerprint-irrelevant: both kernels
+    produce byte-identical evaluations, so the service strips it from
+    the request identity.
     """
 
     search: SearchSettings = field(default_factory=SearchSettings)
@@ -62,6 +70,7 @@ class SolverSettings:
     require_progress: bool = True
     engine: str = "explicit"
     search_jobs: int = 1
+    kernel: str = "auto"
 
 
 @dataclass
@@ -179,6 +188,7 @@ def solve_csc(sg: StateGraph, settings: Optional[SolverSettings] = None) -> Enco
                 settings.search,
                 conflicts=conflicts,
                 search_jobs=settings.search_jobs,
+                kernel=settings.kernel,
             )
         if plan is None:
             if settings.verbose:

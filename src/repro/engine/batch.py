@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench_stg.library import BenchmarkCase, TABLE1_CASES, TABLE2_CASES
+from repro.core.planes import KERNELS
 from repro.core.solver import ENGINES, SolverSettings
 from repro.engine.caches import use_caches
 from repro.engine.shard import shard_budget
@@ -339,6 +340,7 @@ def encode_many(
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
     search_jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
     phases: bool = False,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
@@ -381,6 +383,12 @@ def encode_many(
         (:func:`budgeted_settings`) so ``jobs × search_jobs`` never
         oversubscribes the machine; results are byte-identical at any
         width.
+    kernel:
+        Block-evaluation kernel applied to the whole batch
+        (``"bigint"``/``"planes"``/``"auto"``, see
+        :mod:`repro.core.planes`); ``None`` (default) respects each
+        request's ``SolverSettings.kernel``.  Performance-only: both
+        kernels produce byte-identical results.
     phases:
         Collect per-phase span timings in each item's ``phases`` field
         (``BENCH_*.json`` breakdowns).  Presentation-only: excluded from
@@ -402,10 +410,18 @@ def encode_many(
     # ``jobs`` — either way the solves keep the sharding width the real
     # process count affords.
     effective_jobs = min(jobs, len(stgs)) if (jobs > 1 and len(stgs) >= 2) else 1
+    if kernel is not None and kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
     obs = _obs_envelope(phases=phases)
     payloads = []
     for stg, case_settings in zip(stgs, per_stg):
         case_settings = budgeted_settings(case_settings, effective_jobs, search_jobs)
+        if kernel is not None and (
+            case_settings is None or case_settings.kernel != kernel
+        ):
+            case_settings = dataclasses.replace(
+                case_settings or SolverSettings(), kernel=kernel
+            )
         payloads.append(
             (
                 stg,
@@ -487,6 +503,7 @@ def run_benchmark_suite(
     timeout: Optional[float] = None,
     engine: str = "explicit",
     search_jobs: Optional[int] = None,
+    kernel: Optional[str] = None,
     phases: bool = False,
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
@@ -534,5 +551,6 @@ def run_benchmark_suite(
         timeout=timeout,
         engine=engine,
         search_jobs=search_jobs,
+        kernel=kernel,
         phases=phases,
     )

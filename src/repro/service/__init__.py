@@ -48,6 +48,7 @@ import dataclasses
 import time
 from typing import Dict, List, Optional
 
+from repro.core.planes import KERNELS
 from repro.core.solver import ENGINES, SolverSettings
 from repro.service.backend import ServiceBackend, SqliteBackend, open_backend
 from repro.service.fingerprint import (
@@ -212,6 +213,7 @@ class EncodingService:
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
+        kernel: Optional[str] = None,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
@@ -243,6 +245,13 @@ class EncodingService:
         against the service budget, and deliberately absent from the
         request fingerprint — a sharded solve stores the identical
         payload a serial one would.
+
+        ``kernel`` is the request's explicit block-evaluation kernel
+        (``"bigint"``/``"planes"``/``"auto"``; ``None`` falls back to
+        ``settings.kernel``, where ``"auto"`` means "unspecified").
+        Performance-only like ``search_jobs``: persisted on the job
+        record, absent from the fingerprint — both kernels store the
+        identical payload.
 
         ``tenant`` is the owning tenant's name (``None`` for anonymous
         traffic): recorded on the job, scoping coalescing and quota
@@ -292,6 +301,16 @@ class EncodingService:
             search_jobs = settings.search_jobs
         if search_jobs is not None:
             request["search_jobs"] = int(search_jobs)
+        # Same treatment for the kernel knob: "auto" from the dataclass
+        # default is "unspecified", anything explicit rides on the job.
+        if kernel is None and settings is not None and settings.kernel != "auto":
+            kernel = settings.kernel
+        if kernel is not None:
+            if kernel not in KERNELS:
+                raise ValueError(
+                    f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+                )
+            request["kernel"] = kernel
         # Quota and backlog bounds only refuse *new* work: a submission
         # that coalesces onto an already-queued job adds no load, so it
         # goes through even when the tenant or the queue is at its cap.
@@ -328,6 +347,7 @@ class EncodingService:
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
+        kernel: Optional[str] = None,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
@@ -360,6 +380,7 @@ class EncodingService:
             max_states=max_states,
             engine=engine,
             search_jobs=search_jobs,
+            kernel=kernel,
             tenant=tenant,
             expected_fingerprint=expected_fingerprint,
             quota_active_jobs=quota_active_jobs,

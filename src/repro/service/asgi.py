@@ -534,6 +534,13 @@ class _ServiceApp:
             search_jobs = body["settings"]["search_jobs"]
             if not isinstance(search_jobs, int) or search_jobs < 1:
                 raise ApiError.bad_request('"settings.search_jobs" must be a positive integer')
+        # Same raw-field treatment for the kernel knob ("auto" is also
+        # the dataclass default, so only the raw body shows intent).
+        kernel = None
+        if isinstance(body.get("settings"), dict) and "kernel" in body["settings"]:
+            kernel = body["settings"]["kernel"]
+            if not isinstance(kernel, str):
+                raise ApiError.bad_request('"settings.kernel" must be a string')
         expected_fp = body.get("fingerprint")
         if expected_fp is not None and not isinstance(expected_fp, str):
             raise ApiError.bad_request('"fingerprint" must be a string')
@@ -556,6 +563,7 @@ class _ServiceApp:
                     max_states=max_states,
                     engine=engine,
                     search_jobs=search_jobs,
+                    kernel=kernel,
                     tenant=tenant_name,
                     expected_fingerprint=expected_fp,
                     quota_active_jobs=tenant.quota_active_jobs,
@@ -571,6 +579,7 @@ class _ServiceApp:
                         max_states=max_states,
                         engine=engine,
                         search_jobs=search_jobs,
+                        kernel=kernel,
                         tenant=tenant_name,
                         expected_fingerprint=expected_fp,
                         quota_active_jobs=tenant.quota_active_jobs,

@@ -50,9 +50,11 @@ FINGERPRINT_VERSION = 2
 #: Settings fields that do not influence the produced encoding:
 #: ``verbose`` is presentation-only, ``search_jobs`` is execution-only
 #: (the sharded Figure-4 search is byte-identical to the serial one by
-#: construction — see :mod:`repro.engine.shard`), so requests differing
-#: only in these dedupe to the same fingerprint.
-_PRESENTATION_ONLY = {"verbose", "search_jobs"}
+#: construction — see :mod:`repro.engine.shard`), and ``kernel`` selects
+#: between block-evaluation implementations that are byte-identical by
+#: the conformance harness (:mod:`repro.core.planes`), so requests
+#: differing only in these dedupe to the same fingerprint.
+_PRESENTATION_ONLY = {"verbose", "search_jobs", "kernel"}
 
 
 def canonical_stg(stg: STG) -> Dict[str, object]:

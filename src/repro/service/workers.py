@@ -254,6 +254,12 @@ class WorkerPool:
             max_states = job.request.get("max_states")
             engine = resolve_engine(settings)
             settings = self._sharding_settings(settings, job.request.get("search_jobs"))
+            kernel = job.request.get("kernel")
+            if kernel is not None and kernel != settings.kernel:
+                # Persisted outside the canonical settings (the
+                # fingerprint strips execution-only knobs) — reapply the
+                # requested block-evaluation kernel before solving.
+                settings = dataclasses.replace(settings, kernel=str(kernel))
             obs = _obs_envelope(
                 progress=(self.queue.path, job.id, job.request_id)
             )

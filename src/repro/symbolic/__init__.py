@@ -61,11 +61,20 @@ __all__ = [
 ]
 
 
-def symbolic_census(stg) -> "SymbolicCensus":
-    """Count the reachable states of ``stg`` without enumerating them."""
-    return SymbolicStateGraph(stg).census()
+def symbolic_census(stg, reorder: bool = False) -> "SymbolicCensus":
+    """Count the reachable states of ``stg`` without enumerating them.
+
+    ``reorder=True`` enables dynamic variable reordering (sifting) on
+    the underlying BDD manager; the census values are unaffected, only
+    node-table shape and wall-clock change.
+    """
+    return SymbolicStateGraph(stg, reorder=reorder).census()
 
 
-def symbolic_check_csc(stg, witness_limit: int = 4) -> "SymbolicConflictReport":
+def symbolic_check_csc(
+    stg, witness_limit: int = 4, reorder: bool = False
+) -> "SymbolicConflictReport":
     """Detect CSC conflicts of ``stg`` without enumerating states."""
-    return detect_csc_conflicts(SymbolicStateGraph(stg), witness_limit=witness_limit)
+    return detect_csc_conflicts(
+        SymbolicStateGraph(stg, reorder=reorder), witness_limit=witness_limit
+    )

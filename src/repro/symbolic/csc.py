@@ -34,7 +34,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.bdd.bdd import Node, prime_map
+from repro.bdd.bdd import FALSE, Node, prime_map
+from repro.obs import span
 from repro.symbolic.stategraph import SymbolicStateGraph
 from repro.utils.deadline import check_deadline
 
@@ -59,8 +60,8 @@ class SymbolicConflictReport:
     witnesses: List[Dict[str, object]] = field(default_factory=list)
     core_states: Optional[int] = None  # filled once conflict_core ran
     seconds: float = 0.0
-    conflict_states: Node = 0
-    relation: Node = 0
+    conflict_states: Node = FALSE
+    relation: Node = FALSE
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -121,31 +122,32 @@ def detect_csc_conflicts(
     bdd = ssg.bdd
     reached = ssg.explore()
     mapping = prime_map(ssg.num_state_vars)
-    reached_primed = bdd.rename(reached, mapping)
-    pair = bdd.apply_and(
-        bdd.apply_and(reached, reached_primed), _code_equality(ssg)
-    )
+    with span("bdd.apply", graph=ssg.name, phase="csc"):
+        reached_primed = bdd.rename(reached, mapping)
+        pair = bdd.apply_and(
+            bdd.apply_and(reached, reached_primed), _code_equality(ssg)
+        )
 
-    all_levels = ssg.unprimed_levels + ssg.primed_levels
-    usc_relation = bdd.apply_and(pair, _marking_inequality(ssg))
-    usc_pairs = bdd.sat_count(usc_relation, all_levels) // 2
+        all_levels = ssg.unprimed_levels + ssg.primed_levels
+        usc_relation = bdd.apply_and(pair, _marking_inequality(ssg))
+        usc_pairs = bdd.sat_count(usc_relation, all_levels) // 2
 
-    conflict_relation = bdd.false
-    if usc_relation != bdd.false:
-        # Only non-input signal edges matter for the signature (the
-        # explicit detector's _noninput_signature); without any shared
-        # code there is nothing to compare at all.
-        for edge in ssg.base_edges():
-            check_deadline()
-            if ssg.stg.is_input(edge.signal):
-                continue
-            enabled = ssg.enabled_predicate(edge)
-            enabled_primed = bdd.rename(enabled, mapping)
-            differs = bdd.apply_xor(enabled, enabled_primed)
-            conflict_relation = bdd.apply_or(
-                conflict_relation, bdd.apply_and(pair, differs)
-            )
-    csc_pairs = bdd.sat_count(conflict_relation, all_levels) // 2
+        conflict_relation = bdd.false
+        if usc_relation != bdd.false:
+            # Only non-input signal edges matter for the signature (the
+            # explicit detector's _noninput_signature); without any shared
+            # code there is nothing to compare at all.
+            for edge in ssg.base_edges():
+                check_deadline()
+                if ssg.stg.is_input(edge.signal):
+                    continue
+                enabled = ssg.enabled_predicate(edge)
+                enabled_primed = bdd.rename(enabled, mapping)
+                differs = bdd.apply_xor(enabled, enabled_primed)
+                conflict_relation = bdd.apply_or(
+                    conflict_relation, bdd.apply_and(pair, differs)
+                )
+        csc_pairs = bdd.sat_count(conflict_relation, all_levels) // 2
     csc_holds = conflict_relation == bdd.false
 
     conflict_states = bdd.exists(conflict_relation, ssg.primed_levels)

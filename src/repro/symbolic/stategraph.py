@@ -60,6 +60,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bdd.bdd import BDD, Node, interleaved_pair_levels
+from repro.obs import span
 from repro.petri.net import Marking
 from repro.stg.signals import SignalEdge
 from repro.stg.state_graph import InconsistentSTGError
@@ -202,10 +203,28 @@ class SymbolicCensus:
         }
 
 
-class SymbolicStateGraph:
-    """BDD-backed state graph of one STG (see module docstring)."""
+#: Node-table size at which an opted-in engine first triggers sifting.
+AUTO_REORDER_THRESHOLD = 20000
 
-    def __init__(self, stg: STG, max_cache_entries: Optional[int] = None) -> None:
+
+class SymbolicStateGraph:
+    """BDD-backed state graph of one STG (see module docstring).
+
+    ``reorder=True`` opts the manager into dynamic variable reordering:
+    once the node table outgrows :data:`AUTO_REORDER_THRESHOLD`, sifting
+    runs between exploration passes (the quiescent points of the
+    fixpoint), keeping each (unprimed, primed) variable pair adjacent so
+    the relational prime/unprime renames stay order-preserving.  All
+    verdicts and sat-counts are unaffected — only node-table shape and
+    wall-clock change.
+    """
+
+    def __init__(
+        self,
+        stg: STG,
+        max_cache_entries: Optional[int] = None,
+        reorder: bool = False,
+    ) -> None:
         if stg.dummy_transitions:
             raise NotImplementedError(
                 "symbolic state graphs of STGs with dummy transitions are not supported"
@@ -237,7 +256,16 @@ class SymbolicStateGraph:
         self.unprimed_levels, self.primed_levels = interleaved_pair_levels(
             self.num_state_vars
         )
-        self.bdd = BDD(2 * self.num_state_vars, max_cache_entries=max_cache_entries)
+        self.reorder = reorder
+        #: sift groups: each state variable stays adjacent to its primed twin
+        self.pair_groups: List[Tuple[int, int]] = [
+            (2 * k, 2 * k + 1) for k in range(self.num_state_vars)
+        ]
+        self.bdd = BDD(
+            2 * self.num_state_vars,
+            max_cache_entries=max_cache_entries,
+            auto_reorder_threshold=AUTO_REORDER_THRESHOLD if reorder else None,
+        )
         # The recursive BDD operations descend one frame per level (with
         # nested ite calls inside exists); leave generous headroom for
         # specifications with hundreds of state variables.
@@ -413,10 +441,11 @@ class SymbolicStateGraph:
         result = bdd.false
         for transition in self._transitions:
             check_deadline()
-            enabled = bdd.apply_and(states, transition.enabling)
-            if enabled == bdd.false:
+            moved = bdd.and_exists(
+                states, transition.enabling, transition.changed_levels
+            )
+            if moved == bdd.false:
                 continue
-            moved = bdd.exists(enabled, transition.changed_levels)
             moved = bdd.apply_and(moved, transition.after)
             result = bdd.apply_or(result, moved)
         return result
@@ -431,10 +460,11 @@ class SymbolicStateGraph:
         result = bdd.false
         for transition in self._transitions:
             check_deadline()
-            landed = bdd.apply_and(states, transition.after)
-            if landed == bdd.false:
+            moved = bdd.and_exists(
+                states, transition.after, transition.changed_levels
+            )
+            if moved == bdd.false:
                 continue
-            moved = bdd.exists(landed, transition.changed_levels)
             moved = bdd.apply_and(moved, transition.enabling)
             moved = bdd.apply_and(moved, transition.produced_empty)
             result = bdd.apply_or(result, moved)
@@ -459,20 +489,25 @@ class SymbolicStateGraph:
         reached = self.initial_cube()
         self.iterations = 0
         changed = True
-        while changed:
-            changed = False
-            self.iterations += 1
-            for transition in self._transitions:
-                check_deadline()
-                enabled = bdd.apply_and(reached, transition.enabling)
-                if enabled == bdd.false:
-                    continue
-                moved = bdd.exists(enabled, transition.changed_levels)
-                moved = bdd.apply_and(moved, transition.after)
-                new = bdd.apply_diff(moved, reached)
-                if new != bdd.false:
-                    reached = bdd.apply_or(reached, new)
-                    changed = True
+        with span("bdd.apply", graph=self.name, phase="explore"):
+            while changed:
+                changed = False
+                self.iterations += 1
+                for transition in self._transitions:
+                    check_deadline()
+                    moved = bdd.and_exists(
+                        reached, transition.enabling, transition.changed_levels
+                    )
+                    if moved == bdd.false:
+                        continue
+                    moved = bdd.apply_and(moved, transition.after)
+                    new = bdd.apply_diff(moved, reached)
+                    if new != bdd.false:
+                        reached = bdd.apply_or(reached, new)
+                        changed = True
+                # a pass boundary is a quiescent point: no operation in
+                # flight, so sifting may rewrite the node table freely
+                bdd.maybe_reorder(groups=self.pair_groups)
         self.reached = reached
         self.explore_seconds = time.perf_counter() - started
         self._check_safe_and_consistent()
@@ -538,15 +573,18 @@ class SymbolicStateGraph:
         )
 
     def _node_count(self, node: Node) -> int:
+        # complement edges: ±r share one structural node, dedup on abs;
+        # the single shared terminal still reports as 2 (TRUE and FALSE)
+        # to stay comparable with pre-complement-edge censuses
         seen = set()
-        stack = [node]
+        stack = [abs(node)]
         while stack:
             current = stack.pop()
-            if current in (0, 1) or current in seen:
+            if current == 1 or current in seen:
                 continue
             seen.add(current)
-            stack.append(self.bdd.low(current))
-            stack.append(self.bdd.high(current))
+            stack.append(abs(self.bdd.low(current)))
+            stack.append(abs(self.bdd.high(current)))
         return len(seen) + 2
 
     def base_edges(self) -> List[SignalEdge]:
@@ -626,7 +664,11 @@ class SymbolicStateGraph:
     ) -> Iterator[Dict[int, int]]:
         """All satisfying assignments of ``node`` over exactly ``levels``."""
         bdd = self.bdd
-        ordered = sorted(levels)
+        # walk in the manager's *current* level order (identical to the
+        # numeric order unless a reorder ran) so the descent matches the
+        # structural order of the diagram
+        rank = {var: i for i, var in enumerate(bdd.var_order())}
+        ordered = sorted(levels, key=rank.__getitem__)
         level_set = set(ordered)
 
         def walk(current: Node, position: int, prefix: Dict[int, int]):

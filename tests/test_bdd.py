@@ -154,12 +154,17 @@ class TestNewPrimitives:
         base = bdd.cache_stats()
         assert base["hits"] == 0 and base["misses"] == 0
         a = bdd.apply_and(bdd.var(0), bdd.var(1))
-        bdd.apply_and(bdd.var(0), bdd.var(1))  # same ite key -> a hit
+        bdd.apply_and(bdd.var(0), bdd.var(1))  # same apply key -> a hit
+        b = bdd.ite(bdd.var(2), a, bdd.var(3))
+        assert b == bdd.ite(bdd.var(2), a, bdd.var(3))  # same ite key -> a hit
         stats = bdd.cache_stats()
-        assert stats["misses"] >= 1
-        assert stats["hits"] >= 1
+        assert stats["misses"] >= 2
+        assert stats["hits"] >= 2
+        assert stats["apply_entries"] >= 1
         assert stats["ite_entries"] >= 1
         assert 0.0 <= stats["hit_rate"] <= 1.0
+        assert stats["families"]["apply"]["hits"] >= 1
+        assert stats["families"]["ite"]["hits"] >= 1
         assert a == bdd.apply_and(bdd.var(0), bdd.var(1))
 
     def test_bounded_cache_flushes_without_changing_results(self):

@@ -139,3 +139,131 @@ def test_ordered_set_behaves_like_set(items):
 def test_signal_edge_parse_format_roundtrip(signal, direction, index):
     edge = SignalEdge(signal, direction, index)
     assert SignalEdge.parse(str(edge)) == edge
+
+
+# ----------------------------------------------------------------------
+# evaluation-kernel properties: planes vs the big-int oracle
+# ----------------------------------------------------------------------
+_KERNEL_CACHE = {}
+
+
+def _candidate_kernels():
+    """One big-int oracle kernel plus both plane backends, over the VME
+    controller's state graph and its real CSC conflict set (cached: the
+    state graph is deterministic, hypothesis only varies the masks)."""
+    if "kernels" not in _KERNEL_CACHE:
+        import repro.core.planes as planes_mod
+        from repro.bench_stg import generators as gen
+        from repro.core.csc import csc_conflicts
+        from repro.engine.indexing import IndexedEvaluator
+        from repro.stg.state_graph import build_state_graph
+
+        sg = build_state_graph(gen.vme_controller())
+        conflicts = csc_conflicts(sg)
+
+        def kernel(impl):
+            return IndexedEvaluator(
+                sg, conflicts, allow_input_delay=False, kernel_impl=impl
+            ).kernel
+
+        bigint = kernel("bigint")
+        vector = kernel("planes")
+        pure = kernel("planes")
+        saved = planes_mod._np
+        planes_mod._np = None  # build-time switch: backend is frozen per instance
+        try:
+            pure.batch_kernel()
+        finally:
+            planes_mod._np = saved
+        _KERNEL_CACHE["kernels"] = (bigint, vector, pure)
+    return _KERNEL_CACHE["kernels"]
+
+
+def _evaluation_key(evaluation):
+    if evaluation is None:
+        return None
+    return (
+        evaluation.mask,
+        evaluation.size,
+        bytes(evaluation.side),
+        evaluation.cost,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_plane_kernels_match_bigint_oracle(data):
+    from repro.core.indexed import evaluate_candidates
+
+    bigint, vector, pure = _candidate_kernels()
+    num_states = bigint.num_states
+    batch_size = data.draw(st.integers(min_value=1, max_value=70))
+    masks = [
+        data.draw(st.integers(min_value=0, max_value=(1 << num_states) - 1))
+        for _ in range(batch_size)
+    ]
+    expected = [_evaluation_key(e) for e in evaluate_candidates(bigint, masks)]
+    for kernel in (vector, pure):
+        got = [_evaluation_key(e) for e in evaluate_candidates(kernel, masks)]
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# BDD sifting properties: reordering never changes the function
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.data())
+def test_sifting_preserves_functions(num_vars, data):
+    bdd = BDD(num_vars)
+    functions = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        function = bdd.false
+        for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+            cube = {
+                var: data.draw(st.integers(min_value=0, max_value=1))
+                for var in data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=num_vars - 1), min_size=1
+                    )
+                )
+            }
+            function = bdd.apply_or(function, bdd.cube(cube))
+        functions.append(function)
+    before = [bdd.count_solutions(f) for f in functions]
+    probes = [
+        tuple(data.draw(st.integers(min_value=0, max_value=1)) for _ in range(num_vars))
+        for _ in range(4)
+    ]
+    before_probes = [[bdd.evaluate(f, p) for p in probes] for f in functions]
+    before_restrict = [bdd.restrict(f, 0, 1) for f in functions]
+
+    bdd.reorder()  # full sifting over single-variable blocks
+
+    assert [bdd.count_solutions(f) for f in functions] == before
+    assert [[bdd.evaluate(f, p) for p in probes] for f in functions] == before_probes
+    # restrict results are node ids; recomputing them after the reorder
+    # must land on nodes denoting the same functions
+    for function, old_restrict in zip(functions, before_restrict):
+        new_restrict = bdd.restrict(function, 0, 1)
+        assert bdd.apply_xor(new_restrict, old_restrict) == bdd.false
+    assert sorted(bdd.var_order()) == list(range(num_vars))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.data())
+def test_grouped_sifting_preserves_pair_relations(num_pairs, data):
+    """Sifting interleaved (unprimed, primed) blocks — the solver's
+    grouping — keeps relational sat-counts over both copies intact."""
+    bdd = BDD(2 * num_pairs)
+    relation = bdd.true
+    for pair in range(num_pairs):
+        if data.draw(st.booleans()):
+            clause = bdd.apply_eq(bdd.var(2 * pair), bdd.var(2 * pair + 1))
+        else:
+            clause = bdd.apply_or(bdd.var(2 * pair), bdd.nvar(2 * pair + 1))
+        relation = bdd.apply_and(relation, clause)
+    levels = list(range(2 * num_pairs))
+    before = bdd.sat_count(relation, levels)
+    groups = [(2 * k, 2 * k + 1) for k in range(num_pairs)]
+    bdd.reorder(groups=groups)
+    assert bdd.sat_count(relation, levels) == before
