@@ -1,0 +1,119 @@
+"""Synthesis benchmark: verified netlists for the solvable Table-2 library.
+
+One sweep, one record (``BENCH_synth.json``): ``encode_many`` over the
+full Table-2 library with ``synth=True``, so every case that solves CSC
+also gets a gate network, the three emitted formats, and a gate-level
+verification verdict.  Per row the record keeps:
+
+* the synthesis verdict (``solved`` / ``verified``) — drift here is a
+  correctness regression and fails the CI gate outright;
+* the Table-2 area proxy (``literals``, plus ``cubes`` / ``gates``) —
+  these equal the estimation tier's counts by construction, so any
+  drift means the minimiser or the synthesis path changed;
+* a SHA-256 of the case's result fingerprint — synthesis is derived
+  output, so this hash must match the plain-encode hash of the same
+  case forever.
+
+The wall-clock gate normalises with the shared machine-speed yardstick
+(the legacy cache-off sweep), like every other suite in
+``check_bench_regression.py``.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_synth.py``)
+or through pytest (``pytest benchmarks/bench_synth.py -s``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+
+from repro.engine.batch import run_benchmark_suite
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_synth.json"
+SUITE = "table2"
+
+
+def _fingerprint_hash(item) -> str:
+    blob = json.dumps(item.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _row(item) -> dict:
+    synth = item.synth or {}
+    summary = synth.get("summary") or {}
+    return {
+        "name": item.name,
+        "solved": item.solved,
+        "synth_status": synth.get("status"),
+        "verified": bool(synth.get("verified")),
+        "literals": summary.get("literals"),
+        "cubes": summary.get("cubes"),
+        "gates": summary.get("gates"),
+        "fingerprint_sha256": _fingerprint_hash(item),
+    }
+
+
+def run_synth_benchmark(record_path: pathlib.Path = RECORD_PATH) -> dict:
+    """Run the synthesis sweep, write and return the record."""
+    legacy = run_benchmark_suite(table=SUITE, jobs=1, caches_on=False)
+    sweep = run_benchmark_suite(table=SUITE, jobs=1, caches_on=True, synth=True)
+
+    # synthesis is derived output: the sweep's fingerprints must be
+    # byte-identical to the plain-encode sweep's
+    identical = sweep.fingerprints() == legacy.fingerprints()
+
+    rows = [_row(item) for item in sweep.items]
+    verified = sum(1 for row in rows if row["verified"])
+    solved = sum(1 for row in rows if row["solved"])
+    total_literals = sum(row["literals"] or 0 for row in rows)
+
+    record = {
+        "benchmark": "bench_synth",
+        "suite": SUITE,
+        "cores": os.cpu_count(),
+        "cases": [item.name for item in sweep.items],
+        "legacy_serial_seconds": round(legacy.wall_seconds, 3),
+        "synth_sweep_seconds": round(sweep.wall_seconds, 3),
+        "identical": identical,
+        "solved": solved,
+        "verified": verified,
+        "total": len(sweep.items),
+        "total_literals": total_literals,
+        "per_stg": rows,
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_synth_sweep(report_sink):
+    """Every solved Table-2 case must synthesize to a *verified* netlist,
+    and synthesis must not perturb encoding fingerprints.  Literal
+    counts are recorded, not asserted raw: the CI gate pins them against
+    the committed record."""
+    record = run_synth_benchmark()
+    report_sink.setdefault(
+        "Synthesis: verified netlists over the Table-2 library", []
+    ).append(
+        {
+            "cases": record["total"],
+            "solved": record["solved"],
+            "verified": record["verified"],
+            "literals": record["total_literals"],
+            "sweep_s": record["synth_sweep_seconds"],
+            "identical": record["identical"],
+        }
+    )
+    assert record["identical"], "synthesis perturbed encoding fingerprints"
+    assert record["verified"] == record["solved"], (
+        "some solved case failed gate-level verification"
+    )
+
+
+if __name__ == "__main__":
+    outcome = run_synth_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    ok = outcome["identical"] and outcome["verified"] == outcome["solved"]
+    sys.exit(0 if ok else 1)

@@ -1,6 +1,6 @@
 """Bench-regression gate: fail CI when a benchmark sweep regresses.
 
-Six suites, selected by ``--suite``:
+Seven suites, selected by ``--suite``:
 
 ``table2`` (default)
     Runs the full Table-2 sweep three ways via
@@ -49,6 +49,17 @@ Six suites, selected by ``--suite``:
     result-fingerprint or census state-count drift against the
     committed baseline, and gates both the planes sweep and the census
     wall-clock — so neither fast path can quietly regress or drift.
+
+``synth``
+    Runs the synthesis sweep via
+    :func:`benchmarks.bench_synth.run_synth_benchmark` (refreshing
+    ``BENCH_synth.json``): the Table-2 library with ``synth=True``, so
+    every solved case also gets a verified gate network.  Fails on any
+    verdict drift (``solved`` / ``verified`` / literal, cube, or gate
+    counts) or per-row result-fingerprint drift against the committed
+    baseline — synthesis is derived output and must never perturb
+    encodings — and gates the sweep wall-clock via the legacy
+    yardstick.
 
 ``swarm``
     Runs the concurrent-client service sweep via
@@ -101,6 +112,10 @@ from bench_obs import (  # noqa: E402
 from bench_parallel_search import (  # noqa: E402
     RECORD_PATH as SEARCH_RECORD_PATH,
     run_search_benchmark,
+)
+from bench_synth import (  # noqa: E402
+    RECORD_PATH as SYNTH_RECORD_PATH,
+    run_synth_benchmark,
 )
 from bench_swarm import (  # noqa: E402
     RECORD_PATH as SWARM_RECORD_PATH,
@@ -338,6 +353,71 @@ def check_kernel(baseline_path: pathlib.Path, tolerance: float) -> int:
     return 0
 
 
+#: Per-row synthesis fields that must reproduce exactly across machines.
+_SYNTH_VERDICT_FIELDS = (
+    "solved",
+    "synth_status",
+    "verified",
+    "literals",
+    "cubes",
+    "gates",
+    "fingerprint_sha256",
+)
+
+
+def check_synth(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    record = run_synth_benchmark()
+
+    if not record["identical"]:
+        print("FAIL: synthesis perturbed encoding fingerprints")
+        return 1
+    if record["verified"] != record["solved"]:
+        print(
+            f"FAIL: only {record['verified']} of {record['solved']} solved cases "
+            "passed gate-level verification"
+        )
+        return 1
+
+    baseline_rows = {row["name"]: row for row in baseline["per_stg"]}
+    new_rows = {row["name"]: row for row in record["per_stg"]}
+    drifted = False
+    for name in baseline_rows.keys() - new_rows.keys():
+        print(f"FAIL: Table-2 row {name} disappeared from the synthesis sweep")
+        drifted = True
+    for row in record["per_stg"]:
+        base_row = baseline_rows.get(row["name"])
+        if base_row is None:
+            print(f"note: new synthesis-sweep row {row['name']} (no baseline verdict)")
+            continue
+        for field in _SYNTH_VERDICT_FIELDS:
+            if row.get(field) != base_row.get(field):
+                print(
+                    f"FAIL: synthesis drift on {row['name']}.{field}: "
+                    f"baseline {base_row.get(field)!r} -> now {row.get(field)!r}"
+                )
+                drifted = True
+    if drifted:
+        return 1
+
+    ok = _gate(
+        "synthesis sweep",
+        float(baseline["legacy_serial_seconds"]),
+        float(record["legacy_serial_seconds"]),
+        float(baseline["synth_sweep_seconds"]),
+        float(record["synth_sweep_seconds"]),
+        tolerance,
+    )
+    print(
+        f"{record['verified']}/{record['solved']} solved cases verified, "
+        f"{record['total_literals']} literals total; refreshed {SYNTH_RECORD_PATH}"
+    )
+    if not ok:
+        return 1
+    print("OK: no bench regression")
+    return 0
+
+
 def check_obs(baseline_path: pathlib.Path, tolerance: float) -> int:
     baseline = json.loads(baseline_path.read_text())
     record = run_obs_benchmark()
@@ -426,7 +506,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--suite",
-        choices=["table2", "table1", "search", "swarm", "obs", "kernel"],
+        choices=["table2", "table1", "search", "swarm", "obs", "kernel", "synth"],
         default="table2",
         help="which sweep to gate (default: the Table-2 engine sweep)",
     )
@@ -461,6 +541,9 @@ def main(argv=None) -> int:
     if args.suite == "kernel":
         baseline_path = args.baseline or KERNEL_RECORD_PATH
         return check_kernel(baseline_path, args.tolerance)
+    if args.suite == "synth":
+        baseline_path = args.baseline or SYNTH_RECORD_PATH
+        return check_synth(baseline_path, args.tolerance)
     baseline_path = args.baseline or RECORD_PATH
     return check_table2(baseline_path, args.tolerance)
 

@@ -40,7 +40,7 @@ from repro.ts import TransitionSystem
 # The single source of the package version: pyproject.toml reads it via
 # ``[tool.setuptools.dynamic]`` and the CLI exposes it as ``pyetrify
 # --version``, so this constant is the only place it is ever bumped.
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "EncodingReport",

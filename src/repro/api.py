@@ -82,18 +82,26 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def serve(service, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False):
+def serve(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+    cors_origins=None,
+):
     """Bind the ``/v1`` HTTP front for an :class:`EncodingService`.
 
     Returns the bound-but-not-serving server (port ``0`` picks an
     ephemeral one, final in ``.port``); call ``serve_forever()`` — or
     drive it from a thread — and stop it with ``shutdown()`` +
-    ``server_close()``.  The stable home of what used to live at
+    ``server_close()``.  ``cors_origins`` is an optional list of allowed
+    browser origins (``["*"]`` allows any); without it the API sends no
+    CORS headers.  The stable home of what used to live at
     :func:`repro.service.http.serve`.
     """
     from repro.service.asgi import serve_asgi
 
-    return serve_asgi(service, host=host, port=port, verbose=verbose)
+    return serve_asgi(service, host=host, port=port, verbose=verbose, cors_origins=cors_origins)
 
 
 def connect(base_url: str, api_key: Optional[str] = None, timeout: float = 30.0):
@@ -113,6 +121,7 @@ class EncodingReport:
     circuit: Optional[CircuitEstimate] = None
     encoded_stg: Optional[STG] = None
     resynthesis_error: Optional[str] = None
+    synth: Optional[object] = None  # repro.synth.SynthResult when synth=True
     total_seconds: float = 0.0
 
     @property
@@ -160,6 +169,7 @@ def encode_stg(
     estimate_logic: bool = True,
     resynthesize: bool = False,
     max_states: Optional[int] = None,
+    synth: bool = False,
 ) -> EncodingReport:
     """Solve CSC for an STG and (optionally) estimate logic / rebuild an STG.
 
@@ -177,6 +187,14 @@ def encode_stg(
         Petri-net synthesis, so the result can be written back to ``.g``.
     max_states:
         Safety bound on explicit state-graph construction.
+    synth:
+        Run the full synthesis tier (:func:`repro.synth.synthesize`) on
+        the encoded state graph: concrete gate network, equation /
+        Verilog / BLIF emission, gate-level verification against the SG
+        token game.  The result lands in ``report.synth``; the logic
+        estimate is reused from it rather than recomputed.  Encoding
+        fields (``result``, ``table_row()``) are unaffected, so
+        fingerprints stay byte-identical with synthesis on or off.
     """
     watch = Stopwatch().start()
     with span("reachability", name=stg.name):
@@ -185,7 +203,15 @@ def encode_stg(
         result = solve_csc(sg, settings)
 
     circuit: Optional[CircuitEstimate] = None
-    if estimate_logic and result.solved:
+    synth_result = None
+    if synth and result.solved:
+        from repro.synth import synthesize
+
+        synth_result = synthesize(result.final_sg, name=stg.name)
+        if estimate_logic:
+            # same covers by construction; don't minimise twice
+            circuit = synth_result.estimate
+    elif estimate_logic and result.solved:
         with span("logic", name=stg.name):
             circuit = estimate_circuit(result.final_sg, name=stg.name)
 
@@ -205,5 +231,6 @@ def encode_stg(
         circuit=circuit,
         encoded_stg=encoded_stg,
         resynthesis_error=resynthesis_error,
+        synth=synth_result,
         total_seconds=watch.stop(),
     )

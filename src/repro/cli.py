@@ -162,6 +162,76 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if report.solved else 2
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    """Synthesize verified logic from an STG (``pyetrify synth``).
+
+    Runs the full paper pipeline: solve CSC, derive and minimise the
+    next-state function of every non-input signal, build the gate
+    network (optionally decomposed into 2-input gates under the bounded
+    speed-independence check), verify it against the SG token game, and
+    write equations / Verilog / BLIF.
+    """
+    import pathlib
+
+    from repro.synth import synthesize
+
+    stg = _load_stg(args)
+    if stg is None:
+        return 2
+    report = encode_stg(
+        stg,
+        settings=_solver_settings(args),
+        estimate_logic=False,
+        max_states=args.max_states,
+    )
+    if not report.solved:
+        print(
+            f"error: CSC not solved for {stg.name!r} "
+            f"({report.result.conflicts_remaining} conflicts remain); nothing to synthesize",
+            file=sys.stderr,
+        )
+        return 2
+    result = synthesize(
+        report.result.final_sg,
+        name=stg.name,
+        decompose=args.decompose,
+        verify=not args.no_verify,
+    )
+    summary = result.summary()
+    for key in ("name", "signals", "literals", "cubes", "gates", "wires", "verified", "decomposed"):
+        print(f"{key:<12} : {summary[key]}")
+    if result.decomposition.get("fallback"):
+        print(
+            f"{'fallback':<12} : decomposition rejected "
+            f"({result.decomposition['fallback']}); complex gates emitted"
+        )
+    if report.inserted_signals:
+        print(f"{'new signals':<12} : {', '.join(report.inserted_signals)}")
+    texts = {"eqn": result.equations, "v": result.verilog, "blif": result.blif}
+    wanted = {"eqn": ["eqn"], "verilog": ["v"], "blif": ["blif"]}.get(
+        args.fmt, ["eqn", "v", "blif"]
+    )
+    if args.out is not None:
+        directory = pathlib.Path(args.out)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            for extension in wanted:
+                path = directory / f"{stg.name}.{extension}"
+                path.write_text(texts[extension], encoding="utf-8")
+                print(f"written {path}")
+        except OSError as error:
+            print(f"error: cannot write netlists to {args.out}: {error}", file=sys.stderr)
+            return 2
+    else:
+        for extension in wanted:
+            print()
+            print(texts[extension], end="")
+    if not args.no_verify and not result.verified:
+        print("error: gate-level verification failed", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         for name in benchmark_names(None if args.table == "all" else args.table):
@@ -274,7 +344,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         autostart=not args.no_workers,
     )
     try:
-        server = bind_server(service, host=args.host, port=args.port, verbose=args.verbose)
+        server = bind_server(
+            service,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            cors_origins=args.cors_origin,
+        )
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         service.close()
@@ -459,6 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(bench)
     bench.set_defaults(handler=_cmd_bench)
 
+    synth = subparsers.add_parser(
+        "synth", help="synthesize a verified gate netlist from a CSC-solved encoding"
+    )
+    synth.add_argument("file", nargs="?", help="input .g file")
+    synth.add_argument("--benchmark", default=None, metavar="NAME", help="use a library benchmark instead of a file")
+    synth.add_argument("--table", choices=["table1", "table2"], default="table2")
+    synth.add_argument("-o", "--out", default=None, metavar="DIR", help="write netlist files into DIR (default: print to stdout)")
+    synth.add_argument("--fmt", choices=["eqn", "verilog", "blif", "all"], default="all", help="output format(s) to emit (default all)")
+    synth.add_argument("--decompose", action="store_true", help="decompose into 2-input gates when the bounded speed-independence check passes")
+    synth.add_argument("--no-verify", action="store_true", help="skip gate-level verification against the state graph")
+    add_common(synth)
+    synth.set_defaults(handler=_cmd_synth)
+
     serve = subparsers.add_parser("serve", help="run the encoding service (job queue + result store + HTTP API)")
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8080, help="TCP port (0 = ephemeral)")
@@ -469,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
     serve.add_argument("--max-backlog", type=int, default=None, metavar="N", help="reject submissions with 503 when N jobs are already pending (default unbounded)")
     serve.add_argument("--no-workers", action="store_true", help="serve the API only; drain the queue with separate `pyetrify worker` processes")
+    serve.add_argument("--cors-origin", action="append", default=None, metavar="ORIGIN", help="allow cross-origin browser requests from ORIGIN (repeatable; '*' allows any)")
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request (structured access log at info level)")
     serve.add_argument("-q", "--quiet", action="store_true", help="log errors only")
     serve.set_defaults(handler=_cmd_serve)

@@ -71,6 +71,7 @@ class BatchItem:
     engine: str = "explicit"
     census: Optional[Dict[str, object]] = None  # symbolic/auto engines only
     phases: Optional[Dict[str, float]] = None  # span-derived timing, opt-in
+    synth: Optional[Dict[str, object]] = None  # synthesis tier output, opt-in
 
     def fingerprint(self) -> Dict[str, object]:
         """Result identity minus timing (for serial-vs-parallel checks).
@@ -78,7 +79,10 @@ class BatchItem:
         ``census`` stays out: its BDD statistics are deterministic but
         its seconds are not, and the census is bookkeeping about *how*
         the result was obtained, not part of the result.  ``phases`` is
-        pure timing and stays out for the same reason.
+        pure timing and stays out for the same reason.  ``synth`` stays
+        out too: the encoding fingerprint must be byte-identical with
+        synthesis on or off (the netlist is a downstream product of the
+        encoding, pinned by its own bench suite).
         """
         flat = {key: value for key, value in self.summary.items() if key != "cpu_seconds"}
         row = {key: value for key, value in self.table_row.items() if key != "cpu"}
@@ -102,6 +106,7 @@ class BatchItem:
             "engine": self.engine,
             "census": self.census,
             "phases": self.phases,
+            "synth": self.synth,
         }
 
 
@@ -187,6 +192,7 @@ def _encode_one(payload) -> BatchItem:
     """
     stg, settings, estimate_logic, max_states, caches_on, timeout, engine = payload[:7]
     obs = payload[7] if len(payload) > 7 else None
+    synth = bool(payload[8]) if len(payload) > 8 else False
 
     phases_acc = None
     with contextlib.ExitStack() as stack:
@@ -205,7 +211,7 @@ def _encode_one(payload) -> BatchItem:
                 phases_acc = stack.enter_context(collect_phases())
         stack.enter_context(span("encode", name=stg.name, engine=engine))
         item = _encode_item(
-            stg, settings, estimate_logic, max_states, caches_on, timeout, engine
+            stg, settings, estimate_logic, max_states, caches_on, timeout, engine, synth
         )
     if phases_acc:
         item.phases = {name: round(seconds, 6) for name, seconds in sorted(phases_acc.items())}
@@ -213,7 +219,7 @@ def _encode_one(payload) -> BatchItem:
 
 
 def _encode_item(
-    stg, settings, estimate_logic, max_states, caches_on, timeout, engine
+    stg, settings, estimate_logic, max_states, caches_on, timeout, engine, synth=False
 ) -> BatchItem:
     """The encode proper (no observability scaffolding)."""
     from repro.api import encode_stg  # deferred: repro.api imports this package
@@ -227,6 +233,7 @@ def _encode_item(
                     settings=settings,
                     estimate_logic=estimate_logic,
                     max_states=max_states,
+                    synth=synth,
                 )
                 return BatchItem(
                     name=stg.name,
@@ -235,9 +242,10 @@ def _encode_item(
                     table_row=report.table_row(),
                     seconds=report.total_seconds,
                     engine=engine,
+                    synth=_synth_dict(report, synth),
                 )
             return _encode_symbolic(
-                stg, settings, estimate_logic, max_states, engine, watch
+                stg, settings, estimate_logic, max_states, engine, watch, synth
             )
     except DeadlineExceeded:
         return BatchItem(
@@ -254,6 +262,15 @@ def _encode_item(
             status="error",
             engine=engine,
         )
+
+
+def _synth_dict(report, synth: bool) -> Optional[Dict[str, object]]:
+    """The JSON-safe ``synth`` field of a BatchItem (``None`` unless asked)."""
+    if not synth:
+        return None
+    if report.synth is not None:
+        return report.synth.as_dict()
+    return {"status": "skipped", "reason": "CSC not solved"}
 
 
 def _obs_envelope(phases: bool = False, progress=None) -> Optional[Dict[str, object]]:
@@ -284,6 +301,7 @@ def _encode_symbolic(
     max_states: Optional[int],
     engine: str,
     watch: Stopwatch,
+    synth: bool = False,
 ) -> BatchItem:
     """The ``engine="symbolic"`` / ``"auto"`` worker path.
 
@@ -308,6 +326,7 @@ def _encode_symbolic(
                 settings=settings,
                 estimate_logic=estimate_logic,
                 max_states=max_states,
+                synth=synth,
             )
             return BatchItem(
                 name=stg.name,
@@ -317,8 +336,14 @@ def _encode_symbolic(
                 seconds=watch.stop(),
                 engine=engine,
                 census=census.as_dict(),
+                synth=_synth_dict(report, synth),
             )
     outcome = symbolic_encode(stg, settings=settings, max_states=max_states, ssg=ssg)
+    skipped = (
+        {"status": "skipped", "reason": "synthesis requires an enumerable state graph"}
+        if synth
+        else None
+    )
     return BatchItem(
         name=stg.name,
         solved=outcome.solved,
@@ -327,6 +352,7 @@ def _encode_symbolic(
         seconds=watch.stop(),
         engine=engine,
         census=outcome.census.as_dict(),
+        synth=skipped,
     )
 
 
@@ -342,6 +368,7 @@ def encode_many(
     search_jobs: Optional[int] = None,
     kernel: Optional[str] = None,
     phases: bool = False,
+    synth: bool = False,
 ) -> BatchResult:
     """Encode many STGs, optionally in parallel worker processes.
 
@@ -393,6 +420,12 @@ def encode_many(
         Collect per-phase span timings in each item's ``phases`` field
         (``BENCH_*.json`` breakdowns).  Presentation-only: excluded from
         fingerprints like every other timing.
+    synth:
+        Run the synthesis tier on every solved explicit encoding (see
+        :func:`repro.synth.synthesize`): each item's ``synth`` field
+        carries the verified netlist (equations/Verilog/BLIF plus the
+        gate-level verification report), or a skip record for unsolved /
+        symbolic-only outcomes.  Encoding fingerprints are unaffected.
     """
     stgs = list(stgs)
     if isinstance(settings, SolverSettings) or settings is None:
@@ -432,6 +465,7 @@ def encode_many(
                 timeout,
                 resolve_engine(case_settings, engine),
                 obs,
+                synth,
             )
         )
 
@@ -505,6 +539,7 @@ def run_benchmark_suite(
     search_jobs: Optional[int] = None,
     kernel: Optional[str] = None,
     phases: bool = False,
+    synth: bool = False,
 ) -> BatchResult:
     """Encode the built-in benchmark library (``pyetrify bench --all``).
 
@@ -553,4 +588,5 @@ def run_benchmark_suite(
         search_jobs=search_jobs,
         kernel=kernel,
         phases=phases,
+        synth=synth,
     )

@@ -7,14 +7,26 @@ espresso-style expand / irredundant-cover heuristic working from explicit
 ON/OFF sets), and reports literal counts — the "area" proxy used to
 reproduce Table 2 — together with per-signal complex-gate descriptions and
 trigger-signal statistics.
+
+.. note::
+   :func:`estimate_circuit` is the *estimation* half of the story; the
+   full synthesis pipeline (concrete gate networks, emitters, gate-level
+   verification against the SG token game) lives in :mod:`repro.synth`,
+   which re-exports the estimate types.  New code that wants a netlist
+   rather than a literal count should call :func:`repro.synth.synthesize`;
+   the covers are identical by construction, and
+   ``tests/test_synth.py`` pins the equality on every solvable library
+   case.
 """
 
 from repro.logic.cubes import Cube, Cover
-from repro.logic.minimize import minimize_cover, expand_cube
+from repro.logic.minimize import minimize_cover, expand_cube, verify_cover
 from repro.logic.nextstate import (
     CSCViolationError,
     NextStateFunction,
+    classify_codes,
     extract_next_state_function,
+    function_from_codes,
 )
 from repro.logic.netlist import (
     SignalImplementation,
@@ -28,9 +40,12 @@ __all__ = [
     "Cover",
     "minimize_cover",
     "expand_cube",
+    "verify_cover",
     "CSCViolationError",
     "NextStateFunction",
+    "classify_codes",
     "extract_next_state_function",
+    "function_from_codes",
     "SignalImplementation",
     "CircuitEstimate",
     "estimate_circuit",

@@ -65,12 +65,14 @@ def _classify_codes(sg: StateGraph, signal: str) -> Tuple[Set[Code], Set[Code]]:
     return on_codes, off_codes
 
 
-def extract_next_state_function(sg: StateGraph, signal: str) -> NextStateFunction:
-    """Extract and minimise the next-state function of ``signal``.
+def classify_codes(sg: StateGraph, signal: str) -> Tuple[List[Code], List[Code]]:
+    """Validated, sorted ON/OFF code sets for ``signal``.
 
-    Raises :class:`CSCViolationError` when some reachable code requires
-    both next values — i.e. when a CSC conflict involves ``signal``.
-    Unreachable codes are don't cares.
+    This is the *extraction* half of :func:`extract_next_state_function`,
+    exposed so callers (the synthesis tier) can time extraction and
+    minimisation separately.  Raises :class:`CSCViolationError` when some
+    reachable code requires both next values — i.e. when a CSC conflict
+    involves ``signal``.
     """
     if signal not in sg.signals:
         raise KeyError(f"unknown signal {signal!r}")
@@ -84,14 +86,35 @@ def extract_next_state_function(sg: StateGraph, signal: str) -> NextStateFunctio
             f"signal {signal!r} has {len(overlap)} codes with contradictory next values; "
             "solve CSC before extracting logic"
         )
-    cover = minimize_cover(sorted(on_codes), sorted(off_codes), width=len(sg.signals))
+    return sorted(on_codes), sorted(off_codes)
+
+
+def function_from_codes(
+    sg: StateGraph, signal: str, on_set: List[Code], off_set: List[Code]
+) -> NextStateFunction:
+    """Minimise pre-classified ON/OFF sets into a :class:`NextStateFunction`.
+
+    The *minimisation* half of :func:`extract_next_state_function`.
+    """
+    cover = minimize_cover(on_set, off_set, width=len(sg.signals))
     return NextStateFunction(
         signal=signal,
         inputs=list(sg.signals),
-        on_set=sorted(on_codes),
-        off_set=sorted(off_codes),
+        on_set=list(on_set),
+        off_set=list(off_set),
         cover=cover,
     )
+
+
+def extract_next_state_function(sg: StateGraph, signal: str) -> NextStateFunction:
+    """Extract and minimise the next-state function of ``signal``.
+
+    Raises :class:`CSCViolationError` when some reachable code requires
+    both next values — i.e. when a CSC conflict involves ``signal``.
+    Unreachable codes are don't cares.
+    """
+    on_codes, off_codes = classify_codes(sg, signal)
+    return function_from_codes(sg, signal, on_codes, off_codes)
 
 
 def extract_all_functions(sg: StateGraph) -> Dict[str, NextStateFunction]:

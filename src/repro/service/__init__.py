@@ -214,6 +214,7 @@ class EncodingService:
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
         kernel: Optional[str] = None,
+        synth: bool = False,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
@@ -253,6 +254,13 @@ class EncodingService:
         record, absent from the fingerprint — both kernels store the
         identical payload.
 
+        ``synth=True`` makes this a *synthesis* job: the worker runs the
+        full :mod:`repro.synth` tier after the encode and the stored
+        result's ``synth`` field carries the verified netlist.  Unlike
+        the execution-only knobs above, synthesis changes the stored
+        payload, so it *is* part of the request fingerprint — a synth
+        job and a plain encode of the same STG dedupe separately.
+
         ``tenant`` is the owning tenant's name (``None`` for anonymous
         traffic): recorded on the job, scoping coalescing and quota
         accounting to that tenant.  ``expected_fingerprint`` optionally
@@ -275,7 +283,9 @@ class EncodingService:
             raise ValueError(
                 f"unknown engine {settings.engine!r}; expected one of {ENGINES}"
             )
-        fingerprint = request_fingerprint(stg, settings=settings, max_states=max_states)
+        fingerprint = request_fingerprint(
+            stg, settings=settings, max_states=max_states, synth=synth
+        )
         if expected_fingerprint is not None and expected_fingerprint != fingerprint:
             raise FingerprintMismatch(expected_fingerprint, fingerprint)
         payload = self.store.get(fingerprint)
@@ -292,6 +302,8 @@ class EncodingService:
             "settings": canonical_settings(settings),
             "max_states": max_states,
         }
+        if synth:
+            request["synth"] = True
         # The canonical settings drop execution-only knobs, so the
         # requested width travels on the job record itself; ``1`` from
         # the dataclass default is "unspecified", an explicit value via
@@ -348,6 +360,7 @@ class EncodingService:
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
         kernel: Optional[str] = None,
+        synth: bool = False,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
         quota_active_jobs: Optional[int] = None,
@@ -381,6 +394,7 @@ class EncodingService:
             engine=engine,
             search_jobs=search_jobs,
             kernel=kernel,
+            synth=synth,
             tenant=tenant,
             expected_fingerprint=expected_fingerprint,
             quota_active_jobs=quota_active_jobs,

@@ -113,10 +113,15 @@ _MAX_LONGPOLL_WAIT = 60.0
 _EVENT_POLL_INTERVAL = 0.05
 _SSE_HEARTBEAT = 15.0
 
+#: Request headers a browser may send cross-origin to this API.
+_CORS_ALLOW_HEADERS = "Authorization, Content-Type, X-API-Key, X-Request-Id, Last-Event-ID"
+_CORS_MAX_AGE = "600"
+
 _STATUS_PHRASES = {
     200: "OK",
     201: "Created",
     202: "Accepted",
+    204: "No Content",
     400: "Bad Request",
     401: "Unauthorized",
     403: "Forbidden",
@@ -250,30 +255,60 @@ class _Request:
 
 
 class _ObservedSend:
-    """ASGI ``send`` wrapper: echoes ``X-Request-Id``, records the status."""
+    """ASGI ``send`` wrapper: echoes ``X-Request-Id`` (plus any per-request
+    CORS headers), records the status."""
 
-    __slots__ = ("_send", "request_id", "status")
+    __slots__ = ("_send", "request_id", "status", "extra_headers")
 
-    def __init__(self, send, request_id: str) -> None:
+    def __init__(self, send, request_id: str, extra_headers=()) -> None:
         self._send = send
         self.request_id = request_id
         self.status: Optional[int] = None
+        self.extra_headers = list(extra_headers)
 
     async def __call__(self, message) -> None:
         if message["type"] == "http.response.start":
             self.status = int(message["status"])
             headers = list(message.get("headers") or [])
             headers.append((b"x-request-id", self.request_id.encode("latin-1")))
+            for name, value in self.extra_headers:
+                headers.append((name.encode("latin-1"), value.encode("latin-1")))
             message = dict(message, headers=headers)
         await self._send(message)
 
 
 class _ServiceApp:
-    """The ASGI application over one :class:`EncodingService`."""
+    """The ASGI application over one :class:`EncodingService`.
 
-    def __init__(self, service, verbose: bool = False) -> None:
+    ``cors_origins`` enables CORS for browser clients: a list of allowed
+    origins (exact match), or ``["*"]`` to allow any.  When enabled,
+    allowed cross-origin requests get ``Access-Control-Allow-Origin`` on
+    every response (errors and SSE streams included) and ``OPTIONS``
+    preflights are answered without authentication — browsers never send
+    credentials on a preflight.  Disallowed origins get no CORS headers,
+    which is how the protocol says "no".
+    """
+
+    def __init__(self, service, verbose: bool = False, cors_origins=None) -> None:
         self.service = service
         self.verbose = verbose
+        self.cors_origins = [str(origin) for origin in (cors_origins or [])]
+        self._cors_any = "*" in self.cors_origins
+
+    def _cors_headers(self, request: "_Request") -> List[Tuple[str, str]]:
+        """Per-request CORS response headers ([] = none apply)."""
+        if not self.cors_origins:
+            return []
+        origin = request.headers.get("origin")
+        if not origin:
+            return []
+        if not self._cors_any and origin not in self.cors_origins:
+            return []
+        return [
+            ("Access-Control-Allow-Origin", "*" if self._cors_any else origin),
+            ("Vary", "Origin"),
+            ("Access-Control-Expose-Headers", "X-Request-Id"),
+        ]
 
     # -- ASGI entry -----------------------------------------------------
     async def __call__(self, scope, receive, send) -> None:
@@ -288,7 +323,7 @@ class _ServiceApp:
         versioned = path == "/v1" or path.startswith("/v1/")
         route = path[3:] if versioned else path
         route = route or "/"
-        observed = _ObservedSend(send, request.id)
+        observed = _ObservedSend(send, request.id, self._cors_headers(request))
         started = time.perf_counter()
         span_event(
             "http.request", "b", request.id,
@@ -427,6 +462,9 @@ class _ServiceApp:
     async def _dispatch(self, request, route: str, versioned: bool, receive, send) -> None:
         method = request.method
         legacy = [] if versioned else self._legacy_headers(route)
+        if method == "OPTIONS":
+            await self._preflight(request, send)
+            return
         if route == "/healthz" and method == "GET":
             from repro import __version__
 
@@ -480,6 +518,27 @@ class _ServiceApp:
             await self._admin_tenants(request, method, send)
             return
         raise ApiError.not_found(f"no such endpoint: {request.method} {request.raw_path}")
+
+    async def _preflight(self, request: _Request, send) -> None:
+        """Answer ``OPTIONS`` (CORS preflight or plain capability probe).
+
+        Unauthenticated by design: preflights carry no credentials.  The
+        ``Access-Control-Allow-Origin`` / ``Vary`` pair rides in through
+        :class:`_ObservedSend` when the origin is allowed; a disallowed
+        origin gets a bare 204 with no CORS headers and the browser
+        blocks the actual request.
+        """
+        headers: List[Tuple[bytes, bytes]] = [(b"allow", b"GET, POST, OPTIONS")]
+        if self._cors_headers(request):
+            headers.extend(
+                [
+                    (b"access-control-allow-methods", b"GET, POST, OPTIONS"),
+                    (b"access-control-allow-headers", _CORS_ALLOW_HEADERS.encode("latin-1")),
+                    (b"access-control-max-age", _CORS_MAX_AGE.encode("latin-1")),
+                ]
+            )
+        await send({"type": "http.response.start", "status": 204, "headers": headers})
+        await send({"type": "http.response.body", "body": b""})
 
     # -- handlers -------------------------------------------------------
     async def _post_job(self, request: _Request, send, legacy) -> None:
@@ -541,6 +600,9 @@ class _ServiceApp:
             kernel = body["settings"]["kernel"]
             if not isinstance(kernel, str):
                 raise ApiError.bad_request('"settings.kernel" must be a string')
+        synth = body.get("synth", False)
+        if not isinstance(synth, bool):
+            raise ApiError.bad_request('"synth" must be a boolean')
         expected_fp = body.get("fingerprint")
         if expected_fp is not None and not isinstance(expected_fp, str):
             raise ApiError.bad_request('"fingerprint" must be a string')
@@ -564,6 +626,7 @@ class _ServiceApp:
                     engine=engine,
                     search_jobs=search_jobs,
                     kernel=kernel,
+                    synth=synth,
                     tenant=tenant_name,
                     expected_fingerprint=expected_fp,
                     quota_active_jobs=tenant.quota_active_jobs,
@@ -580,6 +643,7 @@ class _ServiceApp:
                         engine=engine,
                         search_jobs=search_jobs,
                         kernel=kernel,
+                        synth=synth,
                         tenant=tenant_name,
                         expected_fingerprint=expected_fp,
                         quota_active_jobs=tenant.quota_active_jobs,
@@ -758,9 +822,13 @@ class _ServiceApp:
         await self._send_json(send, 201, created)
 
 
-def create_app(service, verbose: bool = False):
-    """The ASGI 3 application for one :class:`EncodingService`."""
-    return _ServiceApp(service, verbose=verbose)
+def create_app(service, verbose: bool = False, cors_origins=None):
+    """The ASGI 3 application for one :class:`EncodingService`.
+
+    ``cors_origins`` is an optional list of allowed browser origins
+    (``["*"]`` = any); without it no CORS headers are emitted.
+    """
+    return _ServiceApp(service, verbose=verbose, cors_origins=cors_origins)
 
 
 # ----------------------------------------------------------------------
@@ -780,10 +848,12 @@ class AsgiHTTPServer:
     (SSE) are close-delimited, which every HTTP/1.1 client understands.
     """
 
-    def __init__(self, address: Tuple[str, int], service, verbose: bool = False) -> None:
+    def __init__(
+        self, address: Tuple[str, int], service, verbose: bool = False, cors_origins=None
+    ) -> None:
         self.service = service
         self.verbose = verbose
-        self.app = create_app(service, verbose=verbose)
+        self.app = create_app(service, verbose=verbose, cors_origins=cors_origins)
         self._loop = asyncio.new_event_loop()
         host, port = address
         self._server = self._loop.run_until_complete(
@@ -1016,11 +1086,13 @@ def serve_asgi(
     host: str = "127.0.0.1",
     port: int = 8080,
     verbose: bool = False,
+    cors_origins=None,
 ) -> AsgiHTTPServer:
     """Bind an :class:`AsgiHTTPServer` (port ``0`` = ephemeral).
 
     The server is returned bound but not serving; call
     ``serve_forever()`` (blocking) or drive it from a thread — the tests
-    and :func:`repro.cli.main` do both.
+    and :func:`repro.cli.main` do both.  ``cors_origins`` enables CORS
+    for browser clients (see :func:`create_app`).
     """
-    return AsgiHTTPServer((host, port), service, verbose=verbose)
+    return AsgiHTTPServer((host, port), service, verbose=verbose, cors_origins=cors_origins)

@@ -117,11 +117,14 @@ class ServiceClient:
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
         fingerprint: Optional[str] = None,
+        synth: bool = False,
     ) -> Dict[str, object]:
         """Submit raw ``.g`` text; returns the submission outcome.
 
         ``fingerprint`` optionally pins the expected content address
-        (the server answers 409 on a mismatch).
+        (the server answers 409 on a mismatch).  ``synth=True`` submits
+        a synthesis job: the stored result's ``synth`` field carries the
+        verified netlist (equations / Verilog / BLIF).
         """
         body: Dict[str, object] = {"g": g_text, "max_states": max_states}
         if settings is not None:
@@ -130,6 +133,8 @@ class ServiceClient:
             body["engine"] = engine
         if fingerprint is not None:
             body["fingerprint"] = fingerprint
+        if synth:
+            body["synth"] = True
         return self._request("POST", "/v1/jobs", body)
 
     def submit_benchmark(
@@ -139,6 +144,7 @@ class ServiceClient:
         settings: Optional[Dict[str, object]] = None,
         max_states: Optional[int] = 200000,
         engine: Optional[str] = None,
+        synth: bool = False,
     ) -> Dict[str, object]:
         """Submit a named library benchmark."""
         body: Dict[str, object] = {
@@ -150,6 +156,8 @@ class ServiceClient:
             body["settings"] = settings
         if engine is not None:
             body["engine"] = engine
+        if synth:
+            body["synth"] = True
         return self._request("POST", "/v1/jobs", body)
 
     # -- retrieval ------------------------------------------------------

@@ -136,22 +136,35 @@ def canonical_request(
     stg: STG,
     settings: Optional[SolverSettings] = None,
     max_states: Optional[int] = None,
+    synth: bool = False,
 ) -> Dict[str, object]:
-    """The canonical form of one encoding request (see module docstring)."""
-    return {
+    """The canonical form of one encoding request (see module docstring).
+
+    A synthesis request produces a strictly larger result (the verified
+    netlist rides along), so it is fingerprint-relevant.  The ``job`` key
+    appears *only* when ``synth`` is requested: plain-encode canonical
+    forms — and therefore every fingerprint minted before the synthesis
+    tier existed — are unchanged, which is why ``FINGERPRINT_VERSION``
+    did not bump.
+    """
+    canonical: Dict[str, object] = {
         "version": FINGERPRINT_VERSION,
         "stg": canonical_stg(stg),
         "settings": canonical_settings(settings),
         "max_states": max_states,
     }
+    if synth:
+        canonical["job"] = "synth"
+    return canonical
 
 
 def request_fingerprint(
     stg: STG,
     settings: Optional[SolverSettings] = None,
     max_states: Optional[int] = None,
+    synth: bool = False,
 ) -> str:
     """SHA-256 hex digest of the canonical request — the store key."""
-    canonical = canonical_request(stg, settings=settings, max_states=max_states)
+    canonical = canonical_request(stg, settings=settings, max_states=max_states, synth=synth)
     blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

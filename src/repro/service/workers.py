@@ -263,7 +263,8 @@ class WorkerPool:
             obs = _obs_envelope(
                 progress=(self.queue.path, job.id, job.request_id)
             )
-            return (stg, settings, True, max_states, True, self.timeout, engine, obs)
+            synth = bool(job.request.get("synth"))
+            return (stg, settings, True, max_states, True, self.timeout, engine, obs, synth)
         except Exception as error:
             self._finish(job, "failed", f"invalid persisted request: {error}")
             return None

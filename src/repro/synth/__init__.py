@@ -1,0 +1,39 @@
+"""Logic synthesis: from a CSC-satisfying encoding to verified gates.
+
+This tier finishes the paper's pipeline.  Given an encoded state graph
+(CSC holds), :func:`synthesize` derives the per-output complex-gate
+covers via :mod:`repro.logic`, builds a concrete
+:class:`~repro.synth.network.GateNetwork` (optionally decomposed into
+2-input gates under a bounded speed-independence check), emits
+equations / structural Verilog / BLIF with byte-stable output, and plays
+the netlist against the SG token game so every :class:`SynthResult`
+carries a machine-checked ``verified`` flag.
+
+The estimation entry points of :mod:`repro.logic`
+(:func:`estimate_circuit`, :class:`CircuitEstimate`) are re-exported
+here: synthesis *is* their continuation, and the literal counts agree by
+construction.
+"""
+
+from repro.logic.netlist import CircuitEstimate, estimate_circuit
+from repro.synth.decompose import decompose_network
+from repro.synth.emit import emit_blif, emit_equations, emit_verilog
+from repro.synth.network import Gate, GateNetwork, build_network
+from repro.synth.simulate import VerificationReport, verify_network
+from repro.synth.synthesize import SynthResult, synthesize
+
+__all__ = [
+    "synthesize",
+    "SynthResult",
+    "Gate",
+    "GateNetwork",
+    "build_network",
+    "decompose_network",
+    "emit_equations",
+    "emit_verilog",
+    "emit_blif",
+    "verify_network",
+    "VerificationReport",
+    "estimate_circuit",
+    "CircuitEstimate",
+]

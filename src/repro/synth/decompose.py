@@ -1,0 +1,128 @@
+"""Decompose wide sop gates into inverters and 2-input AND/OR gates.
+
+The decomposition is purely structural — each cube becomes a left-folded
+AND tree over its literal wires, the cubes OR-fold into the output gate,
+and complemented literals share one inverter wire per signal.  Whether the
+result is still speed independent is *not* decided here: the gate-level
+verifier (:mod:`repro.synth.simulate`) explores the product of SG states
+and internal wire values and rejects decompositions that introduce
+hazards, at which point synthesis falls back to the complex-gate network.
+
+Wire naming is deterministic (``<sig>_b`` inverters, ``<sig>_c<i>``
+cube terms, ``<sig>_c<i>_a<j>`` / ``<sig>_o<j>`` tree internals,
+uniquified with trailing underscores against the signal namespace), so
+emitted netlists are byte stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.synth.network import Gate, GateNetwork, fresh_name
+
+
+def _fold(
+    kind: str,
+    operands: List[str],
+    out_name: str,
+    tmp_prefix: str,
+    taken: set,
+) -> Tuple[List[Gate], List[str]]:
+    """Left-fold ``operands`` with 2-input ``kind`` gates into ``out_name``.
+
+    Returns the gates (topological order, last one driving ``out_name``)
+    and the intermediate wire names created along the way.
+    """
+    gates: List[Gate] = []
+    wires: List[str] = []
+    if len(operands) == 1:
+        gates.append(Gate(output=out_name, kind="buf", inputs=(operands[0],)))
+        return gates, wires
+    acc = operands[0]
+    for i, operand in enumerate(operands[1:], start=1):
+        last = i == len(operands) - 1
+        if last:
+            out = out_name
+        else:
+            out = fresh_name(f"{tmp_prefix}{i}", taken)
+            taken.add(out)
+            wires.append(out)
+        gates.append(Gate(output=out, kind=kind, inputs=(acc, operand)))
+        acc = out
+    return gates, wires
+
+
+def decompose_network(network: GateNetwork) -> Tuple[GateNetwork, Dict[str, int]]:
+    """Rewrite every sop gate of ``network`` into a 2-input gate tree.
+
+    Constant gates (empty cover or a single all-don't-care cube) are kept
+    as sop gates — they have no fan-in to decompose.  Returns the new
+    network plus a small stats dict.
+    """
+    taken = set(network.signals)
+    wires: List[str] = []
+    gates: Dict[str, Gate] = {}
+    inverters: Dict[str, str] = {}
+    decomposed_gates = 0
+    max_fanin_before = 0
+
+    def literal_wire(position: int, value: str) -> str:
+        signal = network.signals[position]
+        if value == "1":
+            return signal
+        wire = inverters.get(signal)
+        if wire is None:
+            wire = fresh_name(f"{signal}_b", taken)
+            taken.add(wire)
+            inverters[signal] = wire
+            wires.append(wire)
+            gates[wire] = Gate(output=wire, kind="not", inputs=(signal,))
+        return wire
+
+    for signal in network.outputs:
+        gate = network.gates[signal]
+        cubes = list(gate.cover) if gate.cover is not None else []
+        literals_per_cube = [
+            [(p, cube.literal(p)) for p in range(len(network.signals)) if cube.literal(p) != "-"]
+            for cube in cubes
+        ]
+        if not cubes or any(not lits for lits in literals_per_cube):
+            # constant 0 (empty cover) or constant 1 (full cube): keep as is
+            gates[signal] = gate
+            continue
+        max_fanin_before = max(max_fanin_before, sum(len(lits) for lits in literals_per_cube))
+        decomposed_gates += 1
+        term_wires: List[str] = []
+        for i, lits in enumerate(literals_per_cube):
+            operand_wires = [literal_wire(p, v) for p, v in lits]
+            if len(operand_wires) == 1:
+                term_wires.append(operand_wires[0])
+                continue
+            term = fresh_name(f"{signal}_c{i}", taken)
+            taken.add(term)
+            tree_gates, tree_wires = _fold("and", operand_wires, term, f"{signal}_c{i}_a", taken)
+            for g in tree_gates:
+                gates[g.output] = g
+            wires.extend(tree_wires)
+            wires.append(term)
+            term_wires.append(term)
+        or_gates, or_wires = _fold("or", term_wires, signal, f"{signal}_o", taken)
+        for g in or_gates:
+            gates[g.output] = g
+        wires.extend(or_wires)
+
+    decomposed = GateNetwork(
+        name=network.name,
+        signals=list(network.signals),
+        inputs=list(network.inputs),
+        outputs=list(network.outputs),
+        wires=wires,
+        gates=gates,
+        functions=dict(network.functions),
+    )
+    info = {
+        "gates_decomposed": decomposed_gates,
+        "internal_wires": len(wires),
+        "max_fanin_before": max_fanin_before,
+    }
+    return decomposed, info

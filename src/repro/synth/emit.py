@@ -1,0 +1,155 @@
+"""Netlist emitters: equations (.eqn), structural Verilog, and BLIF.
+
+All three writers are deterministic byte-for-byte: they iterate the
+network's stored orders (SG signal order for ports, topological wire
+order for gates) and never touch sets or timestamps, so re-synthesizing
+the same encoding always reproduces the same files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.logic.cubes import Cube
+from repro.synth.network import Gate, GateNetwork
+
+
+# -- equations ---------------------------------------------------------
+
+
+def emit_equations(network: GateNetwork) -> str:
+    """SIS-style ``.eqn`` text: two-level equations per output signal.
+
+    Equations describe the minimised covers regardless of whether the
+    network was decomposed — the decomposition is structure, not function.
+    """
+    lines: List[str] = []
+    lines.append(f"# {network.name}: complex-gate equations synthesized by pyetrify")
+    lines.append("INORDER = " + " ".join(network.inputs) + ";")
+    lines.append("OUTORDER = " + " ".join(network.outputs) + ";")
+    for signal in network.outputs:
+        fn = network.functions[signal]
+        lines.append(f"{signal} = {fn.expression()};")
+    return "\n".join(lines) + "\n"
+
+
+# -- Verilog -----------------------------------------------------------
+
+
+def _verilog_identifiers(network: GateNetwork) -> Dict[str, str]:
+    """Deterministic map from wire names to legal Verilog identifiers."""
+    mapping: Dict[str, str] = {}
+    used: set = set()
+    for name in list(network.signals) + list(network.wires):
+        ident = re.sub(r"[^A-Za-z0-9_]", "_", name)
+        if not ident or ident[0].isdigit():
+            ident = "_" + ident
+        while ident in used:
+            ident = ident + "_"
+        used.add(ident)
+        mapping[name] = ident
+    return mapping
+
+def _cube_verilog(cube: Cube, signals: List[str], ident: Dict[str, str]) -> str:
+    terms: List[str] = []
+    for position, name in enumerate(signals):
+        literal = cube.literal(position)
+        if literal == "1":
+            terms.append(ident[name])
+        elif literal == "0":
+            terms.append("~" + ident[name])
+    if not terms:
+        return "1'b1"
+    return " & ".join(terms)
+
+
+def _gate_verilog(gate: Gate, signals: List[str], ident: Dict[str, str]) -> str:
+    out = ident[gate.output]
+    if gate.kind == "sop":
+        cubes = list(gate.cover)
+        if not cubes:
+            return f"  assign {out} = 1'b0;"
+        parts = [_cube_verilog(cube, signals, ident) for cube in cubes]
+        if len(parts) == 1:
+            return f"  assign {out} = {parts[0]};"
+        return f"  assign {out} = " + " | ".join(f"({p})" for p in parts) + ";"
+    ins = [ident[name] for name in gate.inputs]
+    if gate.kind == "not":
+        return f"  assign {out} = ~{ins[0]};"
+    if gate.kind == "buf":
+        return f"  assign {out} = {ins[0]};"
+    op = " & " if gate.kind == "and" else " | "
+    return f"  assign {out} = {op.join(ins)};"
+
+
+def emit_verilog(network: GateNetwork) -> str:
+    """Structural Verilog with one continuous assign per gate."""
+    ident = _verilog_identifiers(network)
+    module = re.sub(r"[^A-Za-z0-9_]", "_", network.name) or "netlist"
+    if module[0].isdigit():
+        module = "_" + module
+    ports = [ident[s] for s in network.inputs + network.outputs]
+    lines: List[str] = []
+    lines.append(f"// {network.name}: speed-independent netlist synthesized by pyetrify")
+    lines.append(f"module {module} (" + ", ".join(ports) + ");")
+    if network.inputs:
+        lines.append("  input " + ", ".join(ident[s] for s in network.inputs) + ";")
+    if network.outputs:
+        lines.append("  output " + ", ".join(ident[s] for s in network.outputs) + ";")
+    if network.wires:
+        lines.append("  wire " + ", ".join(ident[w] for w in network.wires) + ";")
+    lines.append("")
+    for wire in list(network.wires) + list(network.outputs):
+        lines.append(_gate_verilog(network.gates[wire], network.signals, ident))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+# -- BLIF --------------------------------------------------------------
+
+
+def _names_rows(gate: Gate, signals: List[str]) -> List[str]:
+    """``.names`` header + cover rows for one gate."""
+    if gate.kind == "sop":
+        support = list(gate.inputs)
+        positions = [signals.index(name) for name in support]
+        rows = [".names " + " ".join(support + [gate.output])]
+        cubes = list(gate.cover)
+        if not support:
+            # constant: full cube -> 1, empty cover -> no rows (constant 0)
+            if cubes:
+                rows.append("1")
+            return rows
+        for cube in cubes:
+            pattern = "".join(
+                cube.literal(position) if cube.literal(position) != "-" else "-"
+                for position in positions
+            )
+            rows.append(pattern + " 1")
+        return rows
+    rows = [".names " + " ".join(list(gate.inputs) + [gate.output])]
+    n = len(gate.inputs)
+    if gate.kind == "not":
+        rows.append("0 1")
+    elif gate.kind == "buf":
+        rows.append("1 1")
+    elif gate.kind == "and":
+        rows.append("1" * n + " 1")
+    else:  # or
+        for i in range(n):
+            rows.append("".join("1" if j == i else "-" for j in range(n)) + " 1")
+    return rows
+
+
+def emit_blif(network: GateNetwork) -> str:
+    """BLIF text: one ``.names`` block per gate."""
+    lines: List[str] = []
+    lines.append(f"# {network.name}: synthesized by pyetrify")
+    lines.append(f".model {network.name}")
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for wire in list(network.wires) + list(network.outputs):
+        lines.extend(_names_rows(network.gates[wire], network.signals))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

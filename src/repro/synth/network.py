@@ -1,0 +1,185 @@
+"""Gate networks: the concrete netlist behind a circuit estimate.
+
+A :class:`GateNetwork` holds one driver gate per non-input signal plus any
+internal wires introduced by decomposition.  Complex gates ("sop") evaluate
+their minimised cover directly over the signal vector; decomposed networks
+use 2-input AND/OR gates and inverters over named internal wires.
+
+The network is a pure function of the signal code: ``next_values(code)``
+returns the value every non-input signal is heading to, which is exactly
+what the gate-level verifier compares against the state graph's enabled
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.cubes import Cover
+from repro.logic.nextstate import NextStateFunction
+
+Code = Tuple[int, ...]
+
+#: Gate kinds understood by the evaluator and the emitters.
+GATE_KINDS = ("sop", "and", "or", "not", "buf")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: an output wire, a kind, and ordered input wires.
+
+    ``sop`` gates carry their :class:`~repro.logic.cubes.Cover` and read
+    the *full signal vector* (their ``inputs`` list the support signals,
+    for emitters); all other kinds read exactly their ``inputs``.
+    """
+
+    output: str
+    kind: str
+    inputs: Tuple[str, ...]
+    cover: Optional[Cover] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in GATE_KINDS:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if self.kind == "sop" and self.cover is None:
+            raise ValueError("sop gates need a cover")
+        if self.kind in ("not", "buf") and len(self.inputs) != 1:
+            raise ValueError(f"{self.kind} gates take exactly one input")
+        if self.kind in ("and", "or") and not 1 <= len(self.inputs) <= 2:
+            raise ValueError(f"{self.kind} gates take one or two inputs")
+
+    def evaluate(self, values: Dict[str, int], code: Code) -> int:
+        """Gate output under wire ``values``; ``code`` feeds sop gates."""
+        if self.kind == "sop":
+            return 1 if self.cover.contains_minterm(code) else 0
+        ins = [values[name] for name in self.inputs]
+        if self.kind == "and":
+            return 1 if all(ins) else 0
+        if self.kind == "or":
+            return 1 if any(ins) else 0
+        if self.kind == "not":
+            return 1 - ins[0]
+        return ins[0]  # buf
+
+
+@dataclass
+class GateNetwork:
+    """A synthesized netlist for one controller.
+
+    ``signals`` is the full SG signal order (the code layout), ``wires``
+    the internal wire names in topological order (empty for complex-gate
+    networks), ``gates`` maps every output signal and internal wire to its
+    driver, and ``functions`` keeps the minimised next-state functions the
+    gates implement.
+    """
+
+    name: str
+    signals: List[str]
+    inputs: List[str]
+    outputs: List[str]
+    wires: List[str] = field(default_factory=list)
+    gates: Dict[str, Gate] = field(default_factory=dict)
+    functions: Dict[str, NextStateFunction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [name for name in list(self.outputs) + list(self.wires) if name not in self.gates]
+        if missing:
+            raise ValueError(f"wires without drivers: {missing}")
+
+    # -- evaluation ----------------------------------------------------
+
+    def settle_wires(self, code: Code) -> Dict[str, int]:
+        """Steady-state values of every wire given the signal ``code``.
+
+        Internal wires are combinational over signals and earlier wires,
+        so one pass in topological order settles them.
+        """
+        values: Dict[str, int] = {name: code[i] for i, name in enumerate(self.signals)}
+        for wire in self.wires:
+            values[wire] = self.gates[wire].evaluate(values, code)
+        return values
+
+    def target(self, signal: str, code: Code, values: Optional[Dict[str, int]] = None) -> int:
+        """The value ``signal``'s driver gate outputs under ``code``."""
+        if values is None:
+            values = self.settle_wires(code)
+        return self.gates[signal].evaluate(values, code)
+
+    def next_values(self, code: Code) -> Dict[str, int]:
+        """Next value of every output signal under ``code``."""
+        values = self.settle_wires(code)
+        return {signal: self.gates[signal].evaluate(values, code) for signal in self.outputs}
+
+    def excited(self, code: Code) -> Dict[str, int]:
+        """Output signals whose gate disagrees with the current code,
+        mapped to the value they are heading to."""
+        index = {name: i for i, name in enumerate(self.signals)}
+        return {
+            signal: value
+            for signal, value in self.next_values(code).items()
+            if value != code[index[signal]]
+        }
+
+    # -- statistics ----------------------------------------------------
+
+    def literal_count(self) -> int:
+        """Sum of cover literals over all output functions — the same
+        area proxy :class:`~repro.logic.netlist.CircuitEstimate` reports."""
+        return sum(fn.literal_count for fn in self.functions.values())
+
+    def cube_count(self) -> int:
+        return sum(fn.cube_count for fn in self.functions.values())
+
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    @property
+    def is_decomposed(self) -> bool:
+        return bool(self.wires)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "signals": len(self.outputs),
+            "literals": self.literal_count(),
+            "cubes": self.cube_count(),
+            "gates": self.gate_count(),
+            "wires": len(self.wires),
+        }
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """Deterministically uniquify ``base`` against ``taken``."""
+    used = set(taken)
+    name = base
+    while name in used:
+        name = name + "_"
+    return name
+
+
+def build_network(
+    name: str,
+    signals: Sequence[str],
+    inputs: Sequence[str],
+    functions: Dict[str, NextStateFunction],
+) -> GateNetwork:
+    """Complex-gate network: one sop gate per non-input signal."""
+    outputs = [s for s in signals if s not in set(inputs)]
+    gates: Dict[str, Gate] = {}
+    for signal in outputs:
+        fn = functions[signal]
+        support = tuple(
+            n
+            for position, n in enumerate(signals)
+            if any(cube.literal(position) != "-" for cube in fn.cover)
+        )
+        gates[signal] = Gate(output=signal, kind="sop", inputs=support, cover=fn.cover)
+    return GateNetwork(
+        name=name,
+        signals=list(signals),
+        inputs=list(inputs),
+        outputs=outputs,
+        wires=[],
+        gates=gates,
+        functions=dict(functions),
+    )

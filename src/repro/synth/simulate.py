@@ -1,0 +1,176 @@
+"""Gate-level verification: play the netlist against the SG token game.
+
+Two checks, both under the speed-independent firing rule (any excited
+gate may fire after an arbitrary finite delay):
+
+*Excitation equivalence* — walk every reachable SG state (the token game,
+BFS from the initial state) and require that the set of output signals the
+netlist wants to switch equals the set of non-input edges the state graph
+enables.  Because the complex-gate netlist is a pure function of the code,
+this equality at every reachable state is exactly mutual trace
+reproducibility: every SG trace can be replayed by the netlist and every
+netlist behaviour is a trace of the SG.
+
+*Decomposition hazard check* — a decomposed netlist has internal wires
+with their own delays, so function equality is no longer enough.  We
+explore the product of SG states and internal wire configurations: from
+each configuration any unstable internal gate may flip, any enabled input
+edge may fire, and a non-input edge may fire once its (decomposed) driver
+gate has actually switched.  The decomposition is accepted only if every
+unstable gate stays unstable across any other single event
+(semi-modularity — no transition can be disabled before it fires) and the
+netlist never wants to switch an output the SG does not enable.  The
+exploration is budgeted; exceeding the budget counts as a failure and
+synthesis falls back to the complex-gate network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.stg.state_graph import StateGraph
+from repro.synth.network import GateNetwork
+
+_MAX_RECORDED_MISMATCHES = 5
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of playing a netlist against the state graph."""
+
+    ok: bool
+    mode: str  # "complex" or "decomposed"
+    states_checked: int = 0
+    transitions_checked: int = 0
+    configurations: int = 0
+    budget_exceeded: bool = False
+    mismatches: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "mode": self.mode,
+            "states_checked": self.states_checked,
+            "transitions_checked": self.transitions_checked,
+            "configurations": self.configurations,
+            "budget_exceeded": self.budget_exceeded,
+            "mismatches": self.mismatches,
+        }
+
+
+def _check_excitation(network: GateNetwork, sg: StateGraph, report: VerificationReport) -> None:
+    """BFS the token game; compare netlist vs SG excitation at each state."""
+    frontier = deque([sg.initial_state])
+    seen = {sg.initial_state}
+    while frontier:
+        state = frontier.popleft()
+        report.states_checked += 1
+        code = sg.code(state)
+        net_excited = set(network.excited(code))
+        sg_excited = {edge.signal for edge in sg.enabled_noninput_edges(state)}
+        if net_excited != sg_excited:
+            report.ok = False
+            if len(report.mismatches) < _MAX_RECORDED_MISMATCHES:
+                report.mismatches.append(
+                    {
+                        "check": "excitation",
+                        "code": "".join(str(v) for v in code),
+                        "netlist": sorted(net_excited),
+                        "state_graph": sorted(sg_excited),
+                    }
+                )
+        for edge in sg.enabled_edges(state):
+            report.transitions_checked += 1
+            successor = sg.ts.successor(state, edge)
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+
+
+def _wire_targets(network: GateNetwork, code: Tuple[int, ...], values: Dict[str, int]) -> Dict[str, int]:
+    return {wire: network.gates[wire].evaluate(values, code) for wire in network.wires}
+
+
+def _check_decomposition(
+    network: GateNetwork, sg: StateGraph, report: VerificationReport, max_configs: int
+) -> None:
+    """Explore (SG state, internal wires) configurations for hazards."""
+    wires = list(network.wires)
+    initial_code = sg.code(sg.initial_state)
+    initial_values = network.settle_wires(initial_code)
+    initial_wires = tuple(initial_values[w] for w in wires)
+    start = (sg.initial_state, initial_wires)
+    frontier = deque([start])
+    seen = {start}
+
+    def record(check: str, code: Tuple[int, ...], detail: Dict[str, Any]) -> None:
+        report.ok = False
+        if len(report.mismatches) < _MAX_RECORDED_MISMATCHES:
+            entry = {"check": check, "code": "".join(str(v) for v in code)}
+            entry.update(detail)
+            report.mismatches.append(entry)
+
+    while frontier:
+        if len(seen) > max_configs:
+            report.ok = False
+            report.budget_exceeded = True
+            return
+        state, wvals = frontier.popleft()
+        report.configurations += 1
+        code = sg.code(state)
+        values = {name: code[i] for i, name in enumerate(network.signals)}
+        values.update(zip(wires, wvals))
+        targets = _wire_targets(network, code, values)
+        unstable = [w for w in wires if targets[w] != values[w]]
+        index = {name: i for i, name in enumerate(network.signals)}
+        root = {a: network.gates[a].evaluate(values, code) for a in network.outputs}
+        enabled = list(sg.enabled_edges(state))
+        sg_excited = {edge.signal for edge in enabled if not sg.is_input_edge(edge)}
+
+        # output correctness: the circuit may only switch what the SG enables
+        for a in network.outputs:
+            if root[a] != code[index[a]] and a not in sg_excited:
+                record("output", code, {"signal": a, "wants": root[a]})
+                return
+
+        successors: List[Tuple[Any, Tuple[int, ...], str]] = []
+        for w in unstable:
+            flipped = tuple(
+                1 - v if wires[i] == w else v for i, v in enumerate(wvals)
+            )
+            successors.append((state, flipped, w))
+        for edge in enabled:
+            if not sg.is_input_edge(edge) and root[edge.signal] != edge.value_after():
+                continue  # driver gate has not switched yet
+            successors.append((sg.ts.successor(state, edge), wvals, ""))
+
+        for next_state, next_wvals, flipped_wire in successors:
+            next_code = sg.code(next_state)
+            next_values = {name: next_code[i] for i, name in enumerate(network.signals)}
+            next_values.update(zip(wires, next_wvals))
+            next_targets = _wire_targets(network, next_code, next_values)
+            # semi-modularity: every other unstable gate must stay unstable
+            for w in unstable:
+                if w != flipped_wire and next_targets[w] == next_values[w]:
+                    record("persistence", code, {"wire": w, "after": flipped_wire or "edge"})
+                    return
+            config = (next_state, next_wvals)
+            if config not in seen:
+                seen.add(config)
+                frontier.append(config)
+
+
+def verify_network(network: GateNetwork, sg: StateGraph, max_configs: int = 20000) -> VerificationReport:
+    """Verify ``network`` implements ``sg`` under the SI firing rule.
+
+    Always runs the excitation-equivalence token game; decomposed
+    networks additionally get the budgeted hazard exploration.
+    """
+    mode = "decomposed" if network.is_decomposed else "complex"
+    report = VerificationReport(ok=True, mode=mode)
+    _check_excitation(network, sg, report)
+    if report.ok and network.is_decomposed:
+        _check_decomposition(network, sg, report, max_configs)
+    return report

@@ -100,7 +100,7 @@ class TestCLI:
         ).read_text()
         assert 'dynamic = ["version"]' in pyproject
         assert 'version = { attr = "repro.__version__" }' in pyproject
-        assert repro.__version__ == "0.7.0"
+        assert repro.__version__ == "0.8.0"
 
     def test_census_on_file(self, tmp_path, capsys):
         path = self._write(tmp_path, gen.vme_controller())

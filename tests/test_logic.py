@@ -3,6 +3,8 @@
 import itertools
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core import solve_csc
 from repro.logic import (
@@ -92,6 +94,49 @@ class TestMinimize:
         cover = minimize_cover(on, off, width=2)
         assert verify_cover(cover, on, off) == []
         assert len(cover) == 2
+
+    def test_constant_one_function(self):
+        # ON everywhere: a single full cube with zero literals.
+        on = list(itertools.product((0, 1), repeat=3))
+        cover = minimize_cover(on, [], width=3)
+        assert verify_cover(cover, on, []) == []
+        assert cover.literal_count() == 0
+        assert all(cover.contains_minterm(m) for m in on)
+
+    def test_constant_zero_function(self):
+        # OFF everywhere: the empty cover.
+        off = list(itertools.product((0, 1), repeat=3))
+        cover = minimize_cover([], off, width=3)
+        assert len(cover) == 0
+        assert not any(cover.contains_minterm(m) for m in off)
+
+    @pytest.mark.parametrize("minterm", [(0, 0, 0), (1, 0, 1), (1, 1, 1)])
+    def test_single_minterm_on_set(self, minterm):
+        # One ON minterm against a fully specified OFF set needs one
+        # cube with all literals present.
+        off = [m for m in itertools.product((0, 1), repeat=3) if m != minterm]
+        cover = minimize_cover([minterm], off, width=3)
+        assert verify_cover(cover, [minterm], off) == []
+        assert len(cover) == 1
+        assert cover.literal_count() == 3
+
+    @given(
+        assignment=st.lists(
+            st.sampled_from(["on", "off", "dc"]), min_size=16, max_size=16
+        )
+    )
+    def test_cover_property(self, assignment):
+        # Property: for any ON/OFF/DC partition, the minimised cover
+        # contains every ON minterm and no OFF minterm.
+        on, off = [], []
+        for minterm, bucket in zip(itertools.product((0, 1), repeat=4), assignment):
+            if bucket == "on":
+                on.append(minterm)
+            elif bucket == "off":
+                off.append(minterm)
+        cover = minimize_cover(on, off, width=4)
+        assert all(cover.contains_minterm(m) for m in on)
+        assert not any(cover.contains_minterm(m) for m in off)
 
     @pytest.mark.parametrize("width", [3, 4])
     def test_random_like_exhaustive_correctness(self, width):

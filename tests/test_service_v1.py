@@ -367,3 +367,158 @@ def test_backend_url_round_trip(tmp_path):
     # a service boots from a URL too
     with EncodingService(f"sqlite:////{path.lstrip('/')}", autostart=False) as service:
         assert service.backend.describe() == {"scheme": "sqlite", "path": path}
+
+
+# ----------------------------------------------------------------------
+# CORS (browser clients)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def cors_server(tmp_path):
+    """A server allowing cross-origin requests from one exact origin."""
+    service = EncodingService(str(tmp_path / "svc.db"), jobs=1)
+    server = serve(service, port=0, cors_origins=["http://app.example"])
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, f"http://127.0.0.1:{server.port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _raw_request(base, method, path, headers=None):
+    """Status + headers of a response whose body may be empty (OPTIONS).
+
+    Returns the case-insensitive header mapping (the ASGI app emits its
+    own headers lowercase, per-request extras in canonical case).
+    """
+    request = urllib.request.Request(base + path, method=method, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.headers
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code, error.headers
+
+
+def test_cors_disabled_by_default(service_server):
+    _, base = service_server
+    status, headers, _ = _request(
+        base, "GET", "/v1/healthz", headers={"Origin": "http://app.example"}
+    )
+    assert status == 200
+    assert "Access-Control-Allow-Origin" not in headers
+    # preflight still answers (plain capability probe), without CORS grants
+    status, headers = _raw_request(
+        base, "OPTIONS", "/v1/jobs", headers={"Origin": "http://app.example"}
+    )
+    assert status == 204
+    assert headers["Allow"] == "GET, POST, OPTIONS"
+    assert "Access-Control-Allow-Methods" not in headers
+
+
+def test_cors_allowed_origin_echoed(cors_server):
+    _, base = cors_server
+    status, headers, _ = _request(
+        base, "GET", "/v1/healthz", headers={"Origin": "http://app.example"}
+    )
+    assert status == 200
+    assert headers["Access-Control-Allow-Origin"] == "http://app.example"
+    assert headers["Vary"] == "Origin"
+    assert headers["Access-Control-Expose-Headers"] == "X-Request-Id"
+
+
+def test_cors_headers_ride_on_error_responses(cors_server):
+    _, base = cors_server
+    status, headers, payload = _request(
+        base, "GET", "/v1/results/deadbeef", headers={"Origin": "http://app.example"}
+    )
+    assert status == 404
+    _assert_envelope(payload, "not_found")
+    assert headers["Access-Control-Allow-Origin"] == "http://app.example"
+
+
+def test_cors_disallowed_origin_gets_no_headers(cors_server):
+    _, base = cors_server
+    status, headers, _ = _request(
+        base, "GET", "/v1/healthz", headers={"Origin": "http://evil.example"}
+    )
+    assert status == 200
+    assert "Access-Control-Allow-Origin" not in headers
+
+
+def test_cors_preflight(cors_server):
+    _, base = cors_server
+    status, headers = _raw_request(
+        base,
+        "OPTIONS",
+        "/v1/jobs",
+        headers={
+            "Origin": "http://app.example",
+            "Access-Control-Request-Method": "POST",
+            "Access-Control-Request-Headers": "Authorization, Content-Type",
+        },
+    )
+    assert status == 204
+    assert headers["Access-Control-Allow-Origin"] == "http://app.example"
+    assert headers["Access-Control-Allow-Methods"] == "GET, POST, OPTIONS"
+    assert "Authorization" in headers["Access-Control-Allow-Headers"]
+    assert headers["Access-Control-Max-Age"] == "600"
+
+
+def test_cors_wildcard_origin(tmp_path):
+    service = EncodingService(str(tmp_path / "svc.db"), jobs=1, autostart=False)
+    server = serve(service, port=0, cors_origins=["*"])
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = f"http://127.0.0.1:{server.port}"
+        _, headers, _ = _request(
+            base, "GET", "/v1/healthz", headers={"Origin": "http://anywhere.example"}
+        )
+        assert headers["Access-Control-Allow-Origin"] == "*"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# synth jobs
+# ----------------------------------------------------------------------
+def test_v1_synth_job_end_to_end(service_server):
+    service, base = service_server
+    status, _, outcome = _request(
+        base, "POST", "/v1/jobs", {"benchmark": "vme2int", "synth": True}
+    )
+    assert status == 202
+    payload = service.wait(outcome["fingerprint"], timeout=120)
+    assert payload["summary"]["solved"] is True
+    synth = payload["synth"]
+    assert synth["status"] == "ok"
+    assert synth["verified"] is True
+    assert synth["summary"]["literals"] > 0
+    assert "module" in synth["verilog"] and ".model" in synth["blif"]
+
+    # same case without synth is a distinct fingerprint (different job)
+    status, _, plain = _request(base, "POST", "/v1/jobs", {"benchmark": "vme2int"})
+    assert status == 202
+    assert plain["fingerprint"] != outcome["fingerprint"]
+
+
+def test_v1_synth_field_must_be_bool(service_server):
+    _, base = service_server
+    status, _, payload = _request(
+        base, "POST", "/v1/jobs", {"benchmark": "vme2int", "synth": "yes"}
+    )
+    assert status == 400
+    _assert_envelope(payload, "bad_request")
+
+
+def test_client_submits_synth_jobs(service_server):
+    _, base = service_server
+    client = connect(base)
+    outcome = client.submit_benchmark("vme2int", synth=True)
+    payload = client.wait(outcome, timeout=120)
+    assert payload["synth"]["verified"] is True
