@@ -1,0 +1,182 @@
+"""Symbolic-insertion benchmark: the BDD-space CSC solver vs explicit.
+
+One sweep, one record (``BENCH_syminsert.json``), two tiers:
+
+* **Fast rows** — the conflicted library cases whose fully symbolic
+  solve finishes in seconds (vme2int, combuf2, mod4-counter, the
+  unsolvable duplicator, pipeline2).  Each is driven through
+  ``symbolic_encode(..., core_budget=0)``, which forces the bridge past
+  hybrid materialization onto ``mode="symbolic-insert"``, and compared
+  byte-for-byte against the explicit solver's result — these graphs are
+  enumerable, so the fingerprints must be identical.  Per row the record
+  keeps the engine mode, the inserted-signal names, the solve verdict, a
+  SHA-256 of the result fingerprint, and wall-clock.
+
+* **Flagship row** — pipeline4, the Table-1 row whose conflict core
+  (750 states, all of them) exceeds the default ``core_budget`` of 512:
+  exactly the workload the symbolic-insert tier exists for.  Its solve
+  takes ~20 minutes at the pinned ``frontier_width=2`` (the narrowest
+  width the explicit twin proves finds the same five insertions), so the
+  sweep only re-runs it when ``SYMINSERT_FLAGSHIP=1`` is set and
+  otherwise carries the committed measurement forward unchanged
+  (``"refreshed": false``).
+
+The wall-clock gate in ``check_bench_regression.py --suite syminsert``
+normalises with this suite's own yardstick: the explicit cache-off
+solves of the same fast cases.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_syminsert.py``)
+or through pytest (``pytest benchmarks/bench_syminsert.py -s``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.bench_stg.generators import pipeline
+from repro.bench_stg.library import get_case
+from repro.core.search import SearchSettings
+from repro.core.solver import SolverSettings, solve_csc
+from repro.engine import use_caches
+from repro.stg.state_graph import build_state_graph
+from repro.symbolic import symbolic_encode
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_syminsert.json"
+
+#: Conflicted, enumerable, and symbolically fast (seconds each).
+FAST_CASES = ("vme2int", "combuf2", "mod4-counter", "duplicator")
+
+#: The flagship settings, pinned: relaxed mode (the pipeline family has
+#: no input-preserving solution) at the narrowest frontier the explicit
+#: twin proves sufficient.  Symbolic block evaluations cost ~200x their
+#: indexed-explicit counterparts, so width is the whole ballgame.
+FLAGSHIP_SETTINGS = SolverSettings(
+    search=SearchSettings(allow_input_delay=True, frontier_width=2)
+)
+
+_RELAXED16 = SolverSettings(
+    search=SearchSettings(allow_input_delay=True, frontier_width=16)
+)
+
+
+def _fingerprint_hash(result) -> str:
+    blob = json.dumps(result.fingerprint(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _fast_inputs():
+    for name in FAST_CASES:
+        case = get_case(name)
+        yield name, case.build, case.solver_settings()
+    yield "pipeline2", (lambda: pipeline(2)), _RELAXED16
+
+
+def run_syminsert_benchmark(
+    record_path: pathlib.Path = RECORD_PATH,
+    flagship: bool | None = None,
+) -> dict:
+    """Run the symbolic-insert sweep, write and return the record."""
+    if flagship is None:
+        flagship = os.environ.get("SYMINSERT_FLAGSHIP") == "1"
+
+    # Yardstick: the explicit (legacy object-space) solves of the same
+    # cases — frozen code, so it measures the machine, not this PR.
+    legacy_started = time.perf_counter()
+    references = {}
+    with use_caches(False):
+        for name, build, settings in _fast_inputs():
+            references[name] = solve_csc(build_state_graph(build()), settings)
+    legacy_seconds = time.perf_counter() - legacy_started
+
+    rows = []
+    sweep_started = time.perf_counter()
+    for name, build, settings in _fast_inputs():
+        row_started = time.perf_counter()
+        outcome = symbolic_encode(build(), settings=settings, core_budget=0)
+        wall = time.perf_counter() - row_started
+        reference = references[name]
+        rows.append(
+            {
+                "name": name,
+                "mode": outcome.mode,
+                "solved": outcome.solved,
+                "inserted": list(outcome.result.inserted_signals),
+                "fingerprint_sha256": _fingerprint_hash(outcome.result),
+                "matches_explicit": outcome.result.fingerprint()
+                == reference.fingerprint(),
+                "wall_seconds": round(wall, 3),
+            }
+        )
+    sweep_seconds = time.perf_counter() - sweep_started
+
+    flagship_row = None
+    if flagship:
+        stg = get_case("pipeline4", "table1").build()
+        row_started = time.perf_counter()
+        outcome = symbolic_encode(stg, settings=FLAGSHIP_SETTINGS)
+        wall = time.perf_counter() - row_started
+        flagship_row = {
+            "name": "pipeline4",
+            "core_states": outcome.report.core_states,
+            "mode": outcome.mode,
+            "solved": outcome.solved,
+            "inserted": list(outcome.result.inserted_signals),
+            "states_before": outcome.result.states_before,
+            "states_after": outcome.result.states_after,
+            "frontier_width": 2,
+            "wall_seconds": round(wall, 1),
+            "refreshed": True,
+        }
+    elif record_path.exists():
+        committed = json.loads(record_path.read_text())
+        flagship_row = committed.get("flagship")
+        if flagship_row is not None:
+            flagship_row = dict(flagship_row, refreshed=False)
+
+    record = {
+        "benchmark": "bench_syminsert",
+        "cores": os.cpu_count(),
+        "cases": [row["name"] for row in rows],
+        "legacy_serial_seconds": round(legacy_seconds, 3),
+        "syminsert_sweep_seconds": round(sweep_seconds, 3),
+        "all_match_explicit": all(row["matches_explicit"] for row in rows),
+        "per_stg": rows,
+        "flagship": flagship_row,
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def test_syminsert_sweep(report_sink):
+    """Every enumerable row must take the symbolic-insert path and
+    fingerprint-match the explicit solver byte for byte.  Wall-clock is
+    recorded, not asserted raw: the CI gate pins it against the
+    committed record."""
+    record = run_syminsert_benchmark()
+    report_sink.setdefault(
+        "Symbolic insertion: BDD-space solves vs the explicit solver", []
+    ).append(
+        {
+            "cases": len(record["per_stg"]),
+            "all_match": record["all_match_explicit"],
+            "sweep_s": record["syminsert_sweep_seconds"],
+            "flagship": (record["flagship"] or {}).get("mode"),
+        }
+    )
+    assert record["all_match_explicit"], "symbolic insert diverged from explicit"
+    for row in record["per_stg"]:
+        assert row["mode"] == "symbolic-insert"
+
+
+if __name__ == "__main__":
+    outcome = run_syminsert_benchmark()
+    print(json.dumps(outcome, indent=2, sort_keys=True))
+    ok = outcome["all_match_explicit"] and all(
+        row["mode"] == "symbolic-insert" for row in outcome["per_stg"]
+    )
+    sys.exit(0 if ok else 1)

@@ -64,6 +64,7 @@ def _solver_settings(args: argparse.Namespace) -> SolverSettings:
         verbose=args.verbose,
         search_jobs=args.search_jobs if getattr(args, "search_jobs", None) is not None else 1,
         kernel=getattr(args, "kernel", None) or "auto",
+        core_budget=getattr(args, "core_budget", None),
     )
 
 
@@ -342,6 +343,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         search_jobs=args.search_jobs,
         max_backlog=args.max_backlog,
         autostart=not args.no_workers,
+        core_budget=args.core_budget,
     )
     try:
         server = bind_server(
@@ -392,6 +394,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         search_jobs=args.search_jobs,
+        core_budget=args.core_budget,
         recover=False,
     )
     print(
@@ -486,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--enlarge-concurrency", action="store_true", help="greedily increase concurrency of inserted signals")
         sub.add_argument("--search-jobs", type=int, default=None, metavar="N", help="shard each insertion search across N workers (results identical to serial; in --all mode clamped so --jobs x N fits the machine)")
         sub.add_argument("--kernel", choices=["auto", "bigint", "planes"], default=None, help="block-evaluation kernel: bit-plane batches (planes), the big-integer oracle (bigint), or planes when numpy is importable (auto, the default); results are byte-identical either way")
+        sub.add_argument("--core-budget", type=int, default=None, metavar="N", help="symbolic engines only: materialize conflict cores up to N states into the explicit solver (default 512); larger cores are solved fully in BDD space — results are conformance-pinned identical either way")
         sub.add_argument("--verbose", action="store_true", help="log per-insertion solver progress (debug level)")
         sub.add_argument("-q", "--quiet", action="store_true", help="log errors only")
 
@@ -511,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_symbolic_input(check)
     check.add_argument("--witnesses", type=int, default=4, metavar="N", help="conflict witness cubes to decode (default 4)")
+    check.add_argument("--core-budget", type=int, default=None, metavar="N", help="accepted for flag parity with solve/bench; the detection verdict and core size never depend on it")
     check.set_defaults(handler=_cmd_check_csc)
 
     solve = subparsers.add_parser("solve", help="insert state signals until CSC holds")
@@ -555,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", default="pyetrify-service.db", metavar="PATH", help="sqlite file holding jobs and results (survives restarts)")
     serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
     serve.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width for jobs that do not request one (clamped so --jobs x N fits the machine)")
+    serve.add_argument("--core-budget", type=int, default=None, metavar="N", help="default symbolic conflict-core bound for jobs that do not request one (default 512)")
     serve.add_argument("--max-entries", type=int, default=None, metavar="N", help="LRU bound on the result store (default unbounded)")
     serve.add_argument("--max-backlog", type=int, default=None, metavar="N", help="reject submissions with 503 when N jobs are already pending (default unbounded)")
     serve.add_argument("--no-workers", action="store_true", help="serve the API only; drain the queue with separate `pyetrify worker` processes")
@@ -568,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--jobs", type=int, default=1, help="concurrent encodings in this worker process")
     worker.add_argument("--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall-clock bound")
     worker.add_argument("--search-jobs", type=int, default=None, metavar="N", help="default in-solve sharding width (clamped against --jobs)")
+    worker.add_argument("--core-budget", type=int, default=None, metavar="N", help="default symbolic conflict-core bound for jobs that do not request one (default 512)")
     worker.add_argument("--verbose", action="store_true", help="debug-level logging")
     worker.add_argument("-q", "--quiet", action="store_true", help="log errors only")
     worker.set_defaults(handler=_cmd_worker)

@@ -186,6 +186,7 @@ class EncodingService:
         search_jobs: Optional[int] = None,
         max_backlog: Optional[int] = None,
         recover: bool = True,
+        core_budget: Optional[int] = None,
     ) -> None:
         self.backend = open_backend(store_path)
         self.store = self.backend.open_store(max_entries=max_entries)
@@ -200,6 +201,7 @@ class EncodingService:
             timeout=timeout,
             poll_interval=poll_interval,
             search_jobs=search_jobs,
+            core_budget=core_budget,
         )
         self._started_at = time.time()
         if autostart:
@@ -214,6 +216,7 @@ class EncodingService:
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
         kernel: Optional[str] = None,
+        core_budget: Optional[int] = None,
         synth: bool = False,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
@@ -253,6 +256,15 @@ class EncodingService:
         Performance-only like ``search_jobs``: persisted on the job
         record, absent from the fingerprint — both kernels store the
         identical payload.
+
+        ``core_budget`` bounds the conflict core the symbolic bridge
+        materializes for the explicit solver (``None`` falls back to
+        ``settings.core_budget``, where ``None`` means "unspecified" and
+        inherits the server-wide default).  Execution-only like
+        ``kernel`` — it selects between the hybrid and fully symbolic
+        insertion paths, which are conformance-pinned to the same
+        encoding — so it is persisted on the job record, not in the
+        canonical settings.
 
         ``synth=True`` makes this a *synthesis* job: the worker runs the
         full :mod:`repro.synth` tier after the encode and the stored
@@ -323,6 +335,14 @@ class EncodingService:
                     f"unknown kernel {kernel!r}; expected one of {KERNELS}"
                 )
             request["kernel"] = kernel
+        # And for the core budget: ``None`` from the dataclass default is
+        # "unspecified", anything explicit rides on the job record.
+        if core_budget is None and settings is not None:
+            core_budget = settings.core_budget
+        if core_budget is not None:
+            if int(core_budget) < 1:
+                raise ValueError("core_budget must be a positive integer")
+            request["core_budget"] = int(core_budget)
         # Quota and backlog bounds only refuse *new* work: a submission
         # that coalesces onto an already-queued job adds no load, so it
         # goes through even when the tenant or the queue is at its cap.
@@ -360,6 +380,7 @@ class EncodingService:
         engine: Optional[str] = None,
         search_jobs: Optional[int] = None,
         kernel: Optional[str] = None,
+        core_budget: Optional[int] = None,
         synth: bool = False,
         tenant: Optional[str] = None,
         expected_fingerprint: Optional[str] = None,
@@ -394,6 +415,7 @@ class EncodingService:
             engine=engine,
             search_jobs=search_jobs,
             kernel=kernel,
+            core_budget=core_budget,
             synth=synth,
             tenant=tenant,
             expected_fingerprint=expected_fingerprint,

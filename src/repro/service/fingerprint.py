@@ -52,9 +52,13 @@ FINGERPRINT_VERSION = 2
 #: (the sharded Figure-4 search is byte-identical to the serial one by
 #: construction — see :mod:`repro.engine.shard`), and ``kernel`` selects
 #: between block-evaluation implementations that are byte-identical by
-#: the conformance harness (:mod:`repro.core.planes`), so requests
-#: differing only in these dedupe to the same fingerprint.
-_PRESENTATION_ONLY = {"verbose", "search_jobs", "kernel"}
+#: the conformance harness (:mod:`repro.core.planes`), and
+#: ``core_budget`` only selects *which* symbolic path (hybrid
+#: materialization vs. fully symbolic insertion) computes the same
+#: encoding (:mod:`repro.symbolic.insert`, likewise pinned by the
+#: conformance harness), so requests differing only in these dedupe to
+#: the same fingerprint.
+_PRESENTATION_ONLY = {"verbose", "search_jobs", "kernel", "core_budget"}
 
 
 def canonical_stg(stg: STG) -> Dict[str, object]:

@@ -16,11 +16,21 @@ enumeration:
   code-equality relation on the primed/unprimed variable pairs, never
   by pairwise state comparison: USC/CSC pair counts, conflict states,
   witness cubes, and the conflict-reachable core;
+* :mod:`repro.symbolic.regions` — the region machinery of the explicit
+  solver (excitation regions, minimal pre/post-regions, bricks, exit
+  borders, I-partitions and the Figure-4 cost terms) rebuilt as
+  image/preimage fixpoints over state-set BDDs, pinned order-identical
+  to the explicit engine on enumerable graphs;
+* :mod:`repro.symbolic.insert` — signal insertion, the SIP validity
+  check and the full Figure-4 search/solve loop in BDD space
+  (:func:`solve_csc_symbolic`), the back half for cores too large to
+  materialize;
 * :mod:`repro.symbolic.bridge` — :func:`symbolic_encode`, the hybrid
   driver: symbolic census and detection always; when conflicts exist
   and the core fits the state budget, only that core is materialized
   into the explicit representation so the region/insertion solver
-  finishes the job; otherwise a structured symbolic-only verdict.
+  finishes the job; beyond the budget the solve itself goes symbolic
+  (``mode="symbolic-insert"``).
 
 The tier plugs into the stack as ``engine="symbolic"`` / ``"auto"`` of
 :func:`repro.engine.batch.encode_many`, the ``pyetrify census`` /
@@ -38,7 +48,10 @@ from repro.symbolic.csc import (
     SymbolicConflictReport,
     conflict_core,
     detect_csc_conflicts,
+    ensure_core,
 )
+from repro.symbolic.insert import SymbolicEncodingResult, solve_csc_symbolic
+from repro.symbolic.regions import SymbolicGraphView, conflict_context
 from repro.symbolic.stategraph import (
     SymbolicCensus,
     SymbolicStateGraph,
@@ -49,11 +62,16 @@ __all__ = [
     "DEFAULT_STATE_BUDGET",
     "SymbolicCensus",
     "SymbolicConflictReport",
+    "SymbolicEncodingResult",
+    "SymbolicGraphView",
     "SymbolicOutcome",
     "SymbolicStateGraph",
+    "conflict_context",
     "conflict_core",
     "detect_csc_conflicts",
+    "ensure_core",
     "materialize_core",
+    "solve_csc_symbolic",
     "state_variable_order",
     "symbolic_census",
     "symbolic_check_csc",
@@ -74,7 +92,13 @@ def symbolic_census(stg, reorder: bool = False) -> "SymbolicCensus":
 def symbolic_check_csc(
     stg, witness_limit: int = 4, reorder: bool = False
 ) -> "SymbolicConflictReport":
-    """Detect CSC conflicts of ``stg`` without enumerating states."""
-    return detect_csc_conflicts(
-        SymbolicStateGraph(stg, reorder=reorder), witness_limit=witness_limit
-    )
+    """Detect CSC conflicts of ``stg`` without enumerating states.
+
+    The conflict core is computed (deadline-bounded) on this
+    detection-only path too, so ``as_dict()`` always reports an integer
+    ``core_states`` — the verdict schema matches the hybrid path's.
+    """
+    ssg = SymbolicStateGraph(stg, reorder=reorder)
+    report = detect_csc_conflicts(ssg, witness_limit=witness_limit)
+    ensure_core(ssg, report)
+    return report

@@ -40,18 +40,20 @@ from typing import Dict, Optional
 
 from repro.bdd.bdd import Node
 from repro.core.solver import EncodingResult, SolverSettings, solve_csc
-from repro.obs import span
+from repro.obs import get_logger, span
 from repro.petri.reachability import StateSpaceLimitExceeded
 from repro.stg.state_graph import StateGraph
 from repro.stg.stg import STG
 from repro.symbolic.csc import (
     SymbolicConflictReport,
-    conflict_core,
     detect_csc_conflicts,
+    ensure_core,
 )
 from repro.symbolic.stategraph import SymbolicCensus, SymbolicStateGraph
 from repro.ts.transition_system import TransitionSystem
 from repro.utils.deadline import check_deadline
+
+_log = get_logger("symbolic")
 
 __all__ = [
     "SymbolicOutcome",
@@ -71,9 +73,19 @@ DEFAULT_STATE_BUDGET = 200000
 #: for the *insertion solver*.  Deliberately much smaller than the
 #: census/exploration budget: enumerating a hundred thousand states is
 #: cheap, but the Figure-4 insertion search on them is not — beyond
-#: roughly this size a symbolic-only verdict is the honest answer unless
-#: the caller raises ``core_budget`` explicitly.
+#: roughly this size the solve itself goes symbolic
+#: (``mode="symbolic-insert"``, :mod:`repro.symbolic.insert`).
 DEFAULT_CORE_BUDGET = 512
+
+#: State ceiling for the fully symbolic insertion path.  The BDD-space
+#: Figure-4 search never enumerates states, but its block evaluations
+#: still scale with graph size; beyond this census the search is not a
+#: benchmark-sized computation and a detection-only verdict is the
+#: honest default answer.  Matches the canonical-enumeration limit of
+#: :mod:`repro.symbolic.regions`, so every graph the solver accepts by
+#: default is also one whose search order is pinned to the explicit
+#: engine's.
+DEFAULT_SYMBOLIC_SOLVE_BUDGET = 20000
 
 
 def materialize_core(
@@ -142,10 +154,13 @@ class SymbolicOutcome:
     """Everything produced by one :func:`symbolic_encode` run."""
 
     stg: STG
-    mode: str  # "symbolic" | "hybrid" | "symbolic-only"
+    mode: str  # "symbolic" | "hybrid" | "symbolic-insert" | "symbolic-only"
     census: SymbolicCensus
     report: SymbolicConflictReport
-    result: Optional[EncodingResult] = None  # hybrid mode only
+    #: hybrid mode: an :class:`EncodingResult`; symbolic-insert mode: a
+    #: :class:`~repro.symbolic.insert.SymbolicEncodingResult` (same
+    #: fingerprint/summary surface); otherwise ``None``.
+    result: Optional[object] = None
     materialized_states: Optional[int] = None
     total_seconds: float = 0.0
 
@@ -241,10 +256,12 @@ def symbolic_encode(
         Allow bridging to the explicit solver at all; ``False`` forces a
         detection-only run regardless of core size.
     core_budget:
-        Bound on the conflict core the bridge hands to the insertion
-        solver; defaults to :data:`DEFAULT_CORE_BUDGET` (solver-sized,
-        far below ``max_states``).  A larger core yields a
-        symbolic-only verdict instead.
+        Bound on the conflict core the bridge materializes for the
+        explicit insertion solver; ``None`` falls back to
+        ``settings.core_budget`` and then :data:`DEFAULT_CORE_BUDGET`
+        (solver-sized, far below ``max_states``).  A larger core takes
+        the fully symbolic insertion path (``mode="symbolic-insert"``,
+        :mod:`repro.symbolic.insert`) instead.
     ssg:
         A pre-built (possibly pre-explored) symbolic graph to reuse —
         the ``engine="auto"`` path builds one for the census and hands
@@ -252,9 +269,20 @@ def symbolic_encode(
     """
     settings = settings or SolverSettings()
     hard_cap = max_states if max_states is not None else DEFAULT_STATE_BUDGET
-    solver_budget = min(
-        core_budget if core_budget is not None else DEFAULT_CORE_BUDGET, hard_cap
-    )
+    if core_budget is None:
+        core_budget = settings.core_budget
+    requested = core_budget if core_budget is not None else DEFAULT_CORE_BUDGET
+    solver_budget = min(requested, hard_cap)
+    if solver_budget < requested:
+        # Surface the clamp: the caller asked for a bigger core than the
+        # explicit-enumeration safety bound allows.
+        _log.warning(
+            "core_budget_clamped",
+            name=stg.name,
+            requested=requested,
+            max_states=hard_cap,
+            effective=solver_budget,
+        )
     started = time.perf_counter()
     with span("symbolic.census", name=stg.name):
         if ssg is None:
@@ -266,12 +294,14 @@ def symbolic_encode(
     mode = "symbolic"
     result: Optional[EncodingResult] = None
     materialized: Optional[int] = None
+    # The core is computed on *every* path — detection-only runs
+    # included — so the verdict schema is stable: ``core_states`` is
+    # always an integer (0 when CSC already holds), never null.
+    with span("symbolic.core", name=stg.name):
+        core = ensure_core(ssg, report)
     if not report.csc_holds:
         mode = "symbolic-only"
         if hybrid and settings.max_signals > 0:
-            with span("symbolic.core", name=stg.name):
-                core = conflict_core(ssg, report.conflict_states)
-                report.core_states = ssg.bdd.sat_count(core, ssg.unprimed_levels)
             if report.core_states <= solver_budget:
                 with span("symbolic.materialize", name=stg.name):
                     sg = materialize_core(ssg, core, max_states=solver_budget)
@@ -279,6 +309,21 @@ def symbolic_encode(
                 with span("symbolic.solve", name=stg.name):
                     result = solve_csc(sg, settings)
                 mode = "hybrid"
+            elif census.states <= DEFAULT_SYMBOLIC_SOLVE_BUDGET:
+                # Core too large to hand to the explicit solver: run the
+                # whole Figure-4 insertion search in BDD space instead.
+                from repro.symbolic.insert import solve_csc_symbolic
+
+                with span("symbolic.insert", name=stg.name):
+                    result = solve_csc_symbolic(ssg, settings)
+                mode = "symbolic-insert"
+            else:
+                _log.warning(
+                    "symbolic_insert_skipped",
+                    name=stg.name,
+                    states=census.states,
+                    budget=DEFAULT_SYMBOLIC_SOLVE_BUDGET,
+                )
     return SymbolicOutcome(
         stg=stg,
         mode=mode,

@@ -39,7 +39,12 @@ from repro.obs import span
 from repro.symbolic.stategraph import SymbolicStateGraph
 from repro.utils.deadline import check_deadline
 
-__all__ = ["SymbolicConflictReport", "detect_csc_conflicts", "conflict_core"]
+__all__ = [
+    "SymbolicConflictReport",
+    "detect_csc_conflicts",
+    "conflict_core",
+    "ensure_core",
+]
 
 
 @dataclass
@@ -62,6 +67,7 @@ class SymbolicConflictReport:
     seconds: float = 0.0
     conflict_states: Node = FALSE
     relation: Node = FALSE
+    core: Optional[Node] = None  # cached by ensure_core; not in as_dict
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -156,7 +162,15 @@ def detect_csc_conflicts(
     witnesses: List[Dict[str, object]] = []
     remaining = conflict_relation
     while remaining != bdd.false and len(witnesses) < witness_limit:
-        cube = bdd.pick_cube(remaining)
+        partial = bdd.pick_cube(remaining)
+        # pick_cube returns a *partial* assignment: levels the cube does
+        # not constrain are absent, and any completion satisfies the
+        # relation.  Complete it over every level (absent level -> 0, the
+        # picker's own preference) so the decoded witness is one fully
+        # specified state pair and the subtraction below removes exactly
+        # that pair — subtracting the partial cube would swallow a whole
+        # family of distinct conflicts and under-fill the witness list.
+        cube = {level: partial.get(level, 0) for level in all_levels}
         witnesses.append(_decode_witness(ssg, cube))
         # The relation holds ordered pairs, so every unordered conflict
         # appears twice; subtract the picked cube AND its mirror (primed
@@ -206,3 +220,17 @@ def conflict_core(ssg: SymbolicStateGraph, conflict_states: Node) -> Node:
         core = bdd.apply_or(core, new)
         frontier = new
     return core
+
+
+def ensure_core(ssg: SymbolicStateGraph, report: SymbolicConflictReport) -> Node:
+    """Compute the conflict core once and cache it on ``report``.
+
+    Fills ``report.core_states`` as a side effect, so every surface that
+    calls this — detection-only ``check-csc`` runs included — emits an
+    integer core size, never ``null`` (``0`` when CSC already holds: the
+    core of an empty conflict set is empty).
+    """
+    if report.core is None:
+        report.core = conflict_core(ssg, report.conflict_states)
+        report.core_states = ssg.bdd.sat_count(report.core, ssg.unprimed_levels)
+    return report.core

@@ -124,11 +124,17 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "csc_pairs            : 1" in output
         assert "witness 1:" in output
+        # detection-only runs compute the conflict core too: the verdict
+        # schema matches the hybrid path's (never "core_states: None")
+        assert "core_states          : 14" in output
+        assert "None" not in output
 
     def test_check_csc_clean_case_returns_zero(self, tmp_path, capsys):
         path = self._write(tmp_path, gen.handshake_wire_chain(2))
         assert main(["check-csc", path]) == 0
-        assert "csc_holds            : True" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "csc_holds            : True" in output
+        assert "core_states          : 0" in output
 
     def test_bench_engine_symbolic(self, capsys):
         assert main(["bench", "vme2int", "--engine", "symbolic"]) == 0

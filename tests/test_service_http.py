@@ -166,6 +166,44 @@ def test_symbolic_job_roundtrip_and_per_engine_stats(service_server):
     assert stats["queue"]["by_engine"].get("symbolic", 0) >= 1
 
 
+def test_core_budget_reaches_the_bridge_but_not_the_fingerprint(service_server):
+    service, base = service_server
+    g_text = stg_to_g_text(load_benchmark("vme2int"))
+    # vme2int's conflict core is 14 states; a budget of 4 forces the
+    # bridge past hybrid materialization onto the fully symbolic
+    # insertion path — proof the knob travelled HTTP -> settings ->
+    # worker -> symbolic_encode.
+    status, budgeted = _request(
+        base,
+        "POST",
+        "/jobs",
+        {"g": g_text, "engine": "symbolic", "settings": {"core_budget": 4}},
+    )
+    assert status == 202
+    result = service.wait(budgeted["fingerprint"], timeout=120.0)
+    assert result["summary"]["engine_mode"] == "symbolic-insert"
+    assert result["summary"]["solved"] is True
+
+    # core_budget is presentation-only: the same request without it
+    # dedupes onto the already-stored job instead of re-solving.
+    status, plain = _request(base, "POST", "/jobs", {"g": g_text, "engine": "symbolic"})
+    assert plain["fingerprint"] == budgeted["fingerprint"]
+    assert status == 200 and plain["cached"] is True
+
+
+def test_core_budget_must_be_positive(service_server):
+    _, base = service_server
+    g_text = stg_to_g_text(load_benchmark("vme2int"))
+    status, payload = _request(
+        base,
+        "POST",
+        "/jobs",
+        {"g": g_text, "engine": "symbolic", "settings": {"core_budget": 0}},
+    )
+    assert status == 400
+    assert "core_budget" in payload["error"]
+
+
 def test_unknown_engine_is_a_400(service_server):
     _, base = service_server
     status, payload = _request(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings as hsettings, strategies as st
 
 from repro.bench_stg import generators as gen
 from repro.engine.batch import encode_many, run_benchmark_suite, suite_cases
@@ -202,6 +203,103 @@ class TestDetection:
 
 
 # ----------------------------------------------------------------------
+# witness completeness (regression: the picker returns *partial* cubes)
+# ----------------------------------------------------------------------
+def _with_dont_care_place(stg):
+    """Graft a token-collapsing input loop onto ``stg``.
+
+    ``free+`` consumes two places but produces one, so after
+    ``free+; free-`` the net has silently lost the token in ``dc_p``:
+    two reachable states differ *only* in that place, with identical
+    codes and identical non-input signatures.  The conflict relation is
+    then independent of ``dc_p``'s variable and ``pick_cube`` returns a
+    cube with that level absent — the don't-care case the witness loop
+    must complete before decoding and subtracting.
+    """
+    stg.add_input("free")
+    stg.add_place("dc_p", 1)
+    stg.add_place("dc_q", 1)
+    stg.add_place("dc_s")
+    stg.connect("dc_p", "free+")
+    stg.connect("dc_q", "free+")
+    stg.connect("free+", "dc_s")
+    stg.connect("dc_s", "free-")
+    stg.connect("free-", "dc_q")
+    return stg
+
+
+def _conflicted_stgs():
+    """Generator families whose members have CSC conflicts of varying
+    multiplicity (so witness requests exercise the subtraction loop),
+    half of them grafted with a don't-care place."""
+    families = st.one_of(
+        st.integers(min_value=2, max_value=4).map(gen.parallel_toggles),
+        st.integers(min_value=2, max_value=3).map(gen.ripple_counter),
+        st.integers(min_value=1, max_value=3).map(gen.pipeline),
+        st.integers(min_value=1, max_value=2).map(
+            lambda n: gen.mixed_controller(n, 1)
+        ),
+    )
+    return st.tuples(families, st.booleans()).map(
+        lambda pair: _with_dont_care_place(pair[0]) if pair[1] else pair[0]
+    )
+
+
+class TestWitnessCompleteness:
+    """The witness loop must fill the requested quota, one fully
+    specified reachable conflict pair per entry.
+
+    Regression for subtracting the *partial* cube ``pick_cube`` returns:
+    an unconstrained level meant the subtraction swallowed a whole
+    family of distinct conflicts, under-filling the list, and the
+    decoded markings were completions the picker never checked.
+    """
+
+    @hsettings(max_examples=20, deadline=None)
+    @given(stg=_conflicted_stgs(), limit=st.integers(min_value=1, max_value=12))
+    def test_witness_quota_and_pair_validity(self, stg, limit):
+        report = symbolic_check_csc(stg, witness_limit=limit)
+        assert len(report.witnesses) == min(limit, report.csc_pairs)
+
+        from repro.petri.net import Marking
+
+        sg = build_state_graph(stg)
+        reachable = set(sg.states)
+        seen_pairs = set()
+        for witness in report.witnesses:
+            first = Marking({place: 1 for place in witness["first_marking"]})
+            second = Marking({place: 1 for place in witness["second_marking"]})
+            assert first in reachable and second in reachable
+            assert sg.code(first) == sg.code(second)
+            assert frozenset(sg.enabled_noninput_edges(first)) != frozenset(
+                sg.enabled_noninput_edges(second)
+            )
+            pair = frozenset((first, second))
+            assert pair not in seen_pairs  # each unordered conflict once
+            seen_pairs.add(pair)
+
+    def test_dont_care_cube_is_completed(self):
+        """Regression: the conflict relation of this STG is independent
+        of the grafted ``dc_p`` place, so ``pick_cube`` returns a cube
+        missing that level.  Feeding the partial cube straight into the
+        mirror subtraction swallowed all four (p, p') completions as one
+        witness and under-filled the list."""
+        stg = _with_dont_care_place(gen.vme_controller())
+        ssg = SymbolicStateGraph(stg)
+        report = detect_csc_conflicts(ssg, witness_limit=64)
+        partial = ssg.bdd.pick_cube(report.relation)
+        all_levels = ssg.unprimed_levels + ssg.primed_levels
+        assert len(partial) < len(all_levels)  # the don't-care is real
+        assert report.csc_pairs == 5
+        assert len(report.witnesses) == 5
+        markings = {
+            (tuple(w["first_marking"]), tuple(w["second_marking"]))
+            for w in report.witnesses
+        }
+        assert len(markings) == 5  # fully specified, pairwise distinct
+
+
+# ----------------------------------------------------------------------
 # hybrid bridge
 # ----------------------------------------------------------------------
 class TestBridge:
@@ -241,19 +339,30 @@ class TestBridge:
         row = outcome.table_row()
         assert row["mode"] == "hybrid" and row["states"] == 14
 
-    def test_mode_symbolic_only_beyond_core_budget(self):
-        outcome = symbolic_encode(gen.parallel_toggles(8))
+    def test_detection_only_beyond_core_budget_still_reports_core(self):
+        from repro.core.solver import SolverSettings
+
+        # Zero signal budget keeps par8 detection-only (its 514-state
+        # core exceeds the default materialization budget, and a full
+        # symbolic solve is not a unit-test-sized computation).
+        outcome = symbolic_encode(
+            gen.parallel_toggles(8), settings=SolverSettings(max_signals=0)
+        )
         assert outcome.mode == "symbolic-only"
         assert not outcome.solved
         assert outcome.result is None
-        assert outcome.report.core_states == 514  # computed, too big to bridge
+        assert outcome.report.core_states == 514  # computed on every path
         assert outcome.conflicts_remaining == outcome.report.csc_pairs
 
-    def test_core_budget_override_enables_bridging(self):
+    def test_core_budget_override_redirects_the_solve(self):
         small = symbolic_encode(gen.mixed_controller(2, 2))
         assert small.mode == "hybrid"  # 228 states fit the default budget
-        forced = symbolic_encode(gen.mixed_controller(2, 2), core_budget=16)
-        assert forced.mode == "symbolic-only"
+        # Shrinking the budget below the core no longer bails to a
+        # detection-only verdict: the solve itself goes symbolic.
+        forced = symbolic_encode(gen.vme_controller(), core_budget=4)
+        assert forced.mode == "symbolic-insert"
+        assert forced.solved
+        assert forced.result.inserted_signals == ["csc0"]
 
     def test_zero_signal_budget_is_detection_only(self):
         from repro.core.solver import SolverSettings
@@ -262,7 +371,7 @@ class TestBridge:
             gen.vme_controller(), settings=SolverSettings(max_signals=0)
         )
         assert outcome.mode == "symbolic-only"
-        assert outcome.report.core_states is None  # never computed
+        assert outcome.report.core_states == 14  # computed even when not solving
 
 
 # ----------------------------------------------------------------------
